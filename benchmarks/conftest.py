@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+The paper-figure benchmarks share one scaled-down pipeline run
+(session-scoped) so the whole suite finishes in minutes; each benchmark
+then measures and prints its own figure from that shared artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.experiments import small_pipeline_config
+from repro.pipeline.learning_aided import LearningAidedPipeline
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline_config():
+    return small_pipeline_config(
+        seed=0,
+        standard_epochs=15,
+        real_epochs=15,
+        hidden_size=48,
+        trace_duration=48,
+        num_real_traces=16,
+        num_eval_traces=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline_result(bench_pipeline_config):
+    """One full pipeline run shared by the Figure 4/5/6 benchmarks."""
+    return LearningAidedPipeline(bench_pipeline_config).run()

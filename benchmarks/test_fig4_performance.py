@@ -1,0 +1,32 @@
+"""Figure 4 — makespan of Default / Handcrafted FSM / GRU DRL / Extracted FSM.
+
+Prints the per-trace makespan table over the evaluation ("real") traces
+and the relative reductions the paper reports: every controller vs the
+default (no migration), the DRL vs the handcrafted FSM, and the
+extracted-FSM-vs-DRL gap.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.experiments import run_figure4
+
+
+def test_fig4_performance_comparison(benchmark, bench_pipeline_config, bench_pipeline_result):
+    result = benchmark.pedantic(
+        lambda: run_figure4(
+            bench_pipeline_config, pipeline_result=bench_pipeline_result, seed=0
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+    print()
+    print(result.render())
+
+    means = result.mean_makespans()
+    assert set(means) == {"default", "handcrafted_fsm", "gru_drl", "extracted_fsm"}
+    # Shape check from the paper: migrating policies beat the static default.
+    assert means["handcrafted_fsm"] < means["default"]
+    # All controllers complete every evaluation trace.
+    for evaluation in result.results.values():
+        assert len(evaluation.makespans) == len(bench_pipeline_result.eval_traces)

@@ -1,0 +1,32 @@
+"""Figure 6 — history information preceding an interesting FSM state.
+
+The paper plots the averaged last-10-interval observations before
+entering S2 (a state whose action is not the obvious low-to-high
+utilisation move) and reads off that write intensity rises while the
+NORMAL/(KV+RV) capacity ratio climbs.  This benchmark extracts the same
+history window for the analogous state of our extracted FSM and prints
+the read-intensity, write-intensity and capacity-ratio series.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.experiments import run_figure6
+
+
+def test_fig6_state_history_profile(benchmark, bench_pipeline_config, bench_pipeline_result):
+    result = benchmark.pedantic(
+        lambda: run_figure6(
+            bench_pipeline_config, pipeline_result=bench_pipeline_result, window=10
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+    print()
+    print(result.render())
+
+    profile = result.profile
+    assert profile.window == 10
+    assert profile.read_intensity.shape == (10,)
+    assert profile.write_intensity.shape == (10,)
+    assert profile.capacity_ratio_series.shape == (10,)

@@ -1,0 +1,12 @@
+"""Setuptools entry point (legacy editable installs in offline environments)."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Learning-aided heuristics design for storage systems (SIGMOD'21 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,51 @@
+"""repro — Learning-Aided Heuristics Design for Storage Systems.
+
+A from-scratch reproduction of Tang et al., "Learning-Aided Heuristics
+Design for Storage System" (SIGMOD 2021): a storage-system simulator, a
+numpy-based recurrent A2C stack, quantized bottleneck networks, finite-
+state-machine extraction/interpretation and the baselines the paper
+compares against.
+
+Most users only need the high-level entry points re-exported here::
+
+    from repro import LearningAidedPipeline, PipelineConfig
+    result = LearningAidedPipeline(PipelineConfig()).run()
+"""
+
+from repro.errors import ReproError
+from repro.storage import StorageSimulator, StorageSystemConfig, WorkloadTrace
+from repro.workloads import StandardWorkloadGenerator, RealTraceSampler
+from repro.env import StorageAllocationEnv, RewardConfig
+from repro.agents import DefaultPolicy, HandcraftedFSMPolicy
+from repro.drl import RecurrentPolicyValueNet, A2CTrainer, CurriculumTrainer, DRLPolicyAgent
+from repro.qbn import QuantizedBottleneckNetwork, QBNTrainer
+from repro.fsm import FiniteStateMachine, FSMExtractor, FSMPolicyAgent
+from repro.pipeline import LearningAidedPipeline, PipelineConfig, PipelineResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "StorageSimulator",
+    "StorageSystemConfig",
+    "WorkloadTrace",
+    "StandardWorkloadGenerator",
+    "RealTraceSampler",
+    "StorageAllocationEnv",
+    "RewardConfig",
+    "DefaultPolicy",
+    "HandcraftedFSMPolicy",
+    "RecurrentPolicyValueNet",
+    "A2CTrainer",
+    "CurriculumTrainer",
+    "DRLPolicyAgent",
+    "QuantizedBottleneckNetwork",
+    "QBNTrainer",
+    "FiniteStateMachine",
+    "FSMExtractor",
+    "FSMPolicyAgent",
+    "LearningAidedPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Common interface implemented by every controller (baseline, DRL or FSM)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.env.observation import Observation
+from repro.storage.migration import MigrationAction
+
+
+class Agent(ABC):
+    """A controller that maps observations to migration actions.
+
+    Agents may keep internal state across a trajectory (the recurrent
+    DRL policy and the extracted FSM both do); ``reset`` is called at the
+    start of every episode.
+    """
+
+    name: str = "agent"
+
+    def reset(self) -> None:
+        """Clear per-episode state.  Stateless agents need not override."""
+
+    @abstractmethod
+    def act(self, observation: Observation) -> MigrationAction:
+        """Choose the migration action for the upcoming interval."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,20 @@
+"""The production default setting: never migrate cores."""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent
+from repro.env.observation import Observation
+from repro.storage.migration import MigrationAction
+
+
+class DefaultPolicy(Agent):
+    """Keeps the initial static allocation for the whole episode.
+
+    This is the paper's "Default" baseline: "The default setting refers
+    to no CPU migration during testing" (Section 4.3.2).
+    """
+
+    name = "default"
+
+    def act(self, observation: Observation) -> MigrationAction:
+        return MigrationAction.NOOP

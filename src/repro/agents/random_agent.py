@@ -1,0 +1,20 @@
+"""Uniformly random controller (sanity-check baseline)."""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent
+from repro.env.observation import Observation
+from repro.storage.migration import NUM_ACTIONS, MigrationAction
+from repro.utils.rng import SeedLike, new_rng
+
+
+class RandomPolicy(Agent):
+    """Chooses one of the seven actions uniformly at random each interval."""
+
+    name = "random"
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._rng = new_rng(rng)
+
+    def act(self, observation: Observation) -> MigrationAction:
+        return MigrationAction(int(self._rng.integers(NUM_ACTIONS)))

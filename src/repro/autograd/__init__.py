@@ -1,0 +1,23 @@
+"""A small reverse-mode automatic differentiation engine on numpy.
+
+The library needs to train a recurrent actor–critic network and two
+quantized-bottleneck auto-encoders.  No deep-learning framework is
+available offline, so this package provides the minimal but general
+autodiff substrate: a :class:`Tensor` wrapping a numpy array, a set of
+differentiable operations with correct broadcasting-aware gradients,
+and a numerical gradient checker used by the test-suite to validate
+every op.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.grad_check import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "numerical_gradient",
+    "check_gradients",
+]

@@ -1,0 +1,90 @@
+"""Functional operations built on :class:`~repro.autograd.tensor.Tensor`.
+
+These are composite, numerically-stabilised operations used by the
+neural-network and training code: softmax, log-softmax, cross-entropy,
+mean-squared error and categorical entropy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+
+ArrayLike = Union[Sequence, np.ndarray, Tensor]
+
+
+def _ensure_tensor(value: ArrayLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    logits = _ensure_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    logits = _ensure_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def cross_entropy(logits: Tensor, targets: ArrayLike) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,)."""
+    logits = _ensure_tensor(logits)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, C) logits, got shape {logits.shape}")
+    target_idx = np.asarray(targets if not isinstance(targets, Tensor) else targets.data)
+    target_idx = target_idx.astype(int).reshape(-1)
+    if target_idx.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"targets length {target_idx.shape[0]} does not match batch {logits.shape[0]}"
+        )
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(logits.shape[0])
+    picked = logp[rows, target_idx]
+    return -picked.mean()
+
+
+def nll_of_actions(log_probs: Tensor, actions: ArrayLike) -> Tensor:
+    """Per-sample negative log-likelihood of chosen ``actions`` given (N, C) log-probs."""
+    log_probs = _ensure_tensor(log_probs)
+    idx = np.asarray(actions if not isinstance(actions, Tensor) else actions.data).astype(int).reshape(-1)
+    rows = np.arange(log_probs.shape[0])
+    return -log_probs[rows, idx]
+
+
+def mse_loss(prediction: Tensor, target: ArrayLike) -> Tensor:
+    """Mean squared error between ``prediction`` and ``target``."""
+    prediction = _ensure_tensor(prediction)
+    target_t = _ensure_tensor(target).detach()
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def entropy(probabilities: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Mean categorical entropy of a probability tensor along ``axis``."""
+    probabilities = _ensure_tensor(probabilities)
+    clipped = probabilities.clip(eps, 1.0)
+    per_row = -(probabilities * clipped.log()).sum(axis=axis)
+    return per_row.mean()
+
+
+def huber_loss(prediction: Tensor, target: ArrayLike, delta: float = 1.0) -> Tensor:
+    """Mean Huber (smooth-L1) loss, robust alternative to MSE for value heads."""
+    prediction = _ensure_tensor(prediction)
+    target_t = _ensure_tensor(target).detach()
+    diff = prediction - target_t
+    abs_diff = diff.abs()
+    quadratic = abs_diff.clip(0.0, delta)
+    linear = abs_diff - quadratic
+    per_elem = quadratic * quadratic * 0.5 + linear * delta
+    return per_elem.mean()

@@ -1,0 +1,56 @@
+"""Adapter exposing a trained :class:`RecurrentPolicyValueNet` as an :class:`Agent`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.drl.policy import RecurrentPolicyValueNet
+from repro.env.observation import Observation, ObservationEncoder
+from repro.storage.migration import MigrationAction
+from repro.utils.rng import SeedLike, new_rng
+
+
+class DRLPolicyAgent(Agent):
+    """Greedy (deterministic) controller backed by the trained GRU policy.
+
+    The agent keeps the GRU hidden state across an episode and resets it
+    at episode boundaries, matching how the policy was trained.
+    """
+
+    name = "gru_drl"
+
+    def __init__(
+        self,
+        policy: RecurrentPolicyValueNet,
+        encoder: ObservationEncoder,
+        epsilon: float = 0.0,
+        rng: SeedLike = None,
+    ) -> None:
+        self.policy = policy
+        self.encoder = encoder
+        self.epsilon = float(epsilon)
+        self._rng = new_rng(rng)
+        self._hidden: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._hidden = self.policy.initial_state().numpy()
+
+    def act(self, observation: Observation) -> MigrationAction:
+        if self._hidden is None:
+            self.reset()
+        normalized = self.encoder.normalize(observation)
+        output = self.policy.act(
+            normalized, self._hidden, rng=self._rng, epsilon=self.epsilon, greedy=True
+        )
+        self._hidden = output.hidden_state
+        return MigrationAction(output.action)
+
+    @property
+    def hidden_state(self) -> np.ndarray:
+        """Current GRU hidden state (useful for FSM extraction diagnostics)."""
+        if self._hidden is None:
+            self.reset()
+        return np.array(self._hidden)

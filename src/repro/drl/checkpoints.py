@@ -1,0 +1,42 @@
+"""Saving and loading trained policies."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.errors import SerializationError
+from repro.utils.serialization import load_npz, save_npz
+
+PathLike = Union[str, Path]
+_CONFIG_KEYS = ("observation_dim", "hidden_size", "num_actions")
+
+
+def save_policy(path: PathLike, policy: RecurrentPolicyValueNet) -> None:
+    """Persist a policy's configuration and weights to an ``.npz`` file."""
+    arrays = {f"param/{name}": value for name, value in policy.state_dict().items()}
+    arrays["config"] = np.array(
+        [policy.config.observation_dim, policy.config.hidden_size, policy.config.num_actions],
+        dtype=np.int64,
+    )
+    save_npz(path, arrays)
+
+
+def load_policy(path: PathLike) -> RecurrentPolicyValueNet:
+    """Load a policy written by :func:`save_policy`."""
+    arrays = load_npz(path)
+    if "config" not in arrays:
+        raise SerializationError(f"{path} does not contain a policy checkpoint")
+    config_values = arrays["config"].astype(int)
+    config = PolicyConfig(**dict(zip(_CONFIG_KEYS, map(int, config_values))))
+    policy = RecurrentPolicyValueNet(config)
+    state = {
+        name[len("param/"):]: value
+        for name, value in arrays.items()
+        if name.startswith("param/")
+    }
+    policy.load_state_dict(state)
+    return policy

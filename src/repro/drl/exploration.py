@@ -1,0 +1,39 @@
+"""Exploration schedules.
+
+The paper uses constant epsilon-greedy exploration with epsilon = 0.1
+(Section 4.2); a linear decay variant is provided for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class EpsilonSchedule:
+    """Epsilon value as a function of the training epoch.
+
+    With ``decay_epochs`` of zero the schedule is constant at ``start``.
+    Otherwise epsilon decays linearly from ``start`` to ``end`` over
+    ``decay_epochs`` epochs and stays at ``end`` afterwards.
+    """
+
+    start: float = 0.1
+    end: float = 0.1
+    decay_epochs: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("start", "end"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"epsilon {name} must be in [0, 1], got {value}")
+        if self.decay_epochs < 0:
+            raise ConfigurationError("decay_epochs must be non-negative")
+
+    def value(self, epoch: int) -> float:
+        if self.decay_epochs <= 0 or epoch >= self.decay_epochs:
+            return self.end if self.decay_epochs > 0 else self.start
+        fraction = epoch / self.decay_epochs
+        return self.start + (self.end - self.start) * fraction

@@ -1,0 +1,118 @@
+"""The recurrent actor–critic network.
+
+Architecture (paper Section 4.2): a GRU whose hidden state is fed to two
+linear heads — one producing the 7 action logits, one producing the
+scalar state-value estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor, no_grad
+from repro.env.observation import OBSERVATION_DIM
+from repro.errors import ConfigurationError
+from repro.nn import GRUCell, Linear, Module
+from repro.storage.migration import NUM_ACTIONS
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Hyper-parameters of the recurrent policy/value network."""
+
+    observation_dim: int = OBSERVATION_DIM
+    hidden_size: int = 128
+    num_actions: int = NUM_ACTIONS
+
+    def __post_init__(self) -> None:
+        if self.observation_dim <= 0:
+            raise ConfigurationError("observation_dim must be positive")
+        if self.hidden_size <= 0:
+            raise ConfigurationError("hidden_size must be positive")
+        if self.num_actions <= 1:
+            raise ConfigurationError("num_actions must be at least 2")
+
+
+@dataclass(frozen=True)
+class PolicyStepOutput:
+    """Result of a single policy step (inference mode, numpy values)."""
+
+    action: int
+    log_probs: np.ndarray
+    probabilities: np.ndarray
+    value: float
+    hidden_state: np.ndarray
+
+
+class RecurrentPolicyValueNet(Module):
+    """GRU backbone with a policy head and a value head."""
+
+    def __init__(self, config: Optional[PolicyConfig] = None, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.config = config or PolicyConfig()
+        rng = new_rng(rng)
+        self.gru = GRUCell(self.config.observation_dim, self.config.hidden_size, rng=rng)
+        self.policy_head = Linear(self.config.hidden_size, self.config.num_actions, rng=rng)
+        self.value_head = Linear(self.config.hidden_size, 1, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Differentiable interface (used by the A2C trainer)
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Tensor:
+        return self.gru.initial_state()
+
+    def step(self, observation: Tensor, hidden: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
+        """One recurrent step: returns (logits, value, next_hidden) as tensors."""
+        if not isinstance(observation, Tensor):
+            observation = Tensor(observation)
+        next_hidden = self.gru(observation, hidden)
+        logits = self.policy_head(next_hidden)
+        value = self.value_head(next_hidden)
+        return logits, value, next_hidden
+
+    # ------------------------------------------------------------------
+    # Inference interface (used by rollouts, evaluation and QBN datasets)
+    # ------------------------------------------------------------------
+    def act(
+        self,
+        observation: np.ndarray,
+        hidden: np.ndarray,
+        rng: SeedLike = None,
+        epsilon: float = 0.0,
+        greedy: bool = True,
+    ) -> PolicyStepOutput:
+        """Run one step without building the autograd graph and pick an action.
+
+        ``epsilon`` is the probability of replacing the chosen action with
+        a uniformly random one (the paper's epsilon-greedy exploration).
+        When ``greedy`` is False the action is sampled from the policy
+        distribution instead of taking its argmax.
+        """
+        rng = new_rng(rng)
+        with no_grad():
+            logits, value, next_hidden = self.step(Tensor(observation), Tensor(hidden))
+            log_probs = F.log_softmax(logits, axis=-1)
+        log_probs_np = log_probs.numpy()
+        probs = np.exp(log_probs_np)
+        probs = probs / probs.sum()
+        if greedy:
+            action = int(np.argmax(probs))
+        else:
+            action = int(rng.choice(self.config.num_actions, p=probs))
+        if epsilon > 0.0 and rng.random() < epsilon:
+            action = int(rng.integers(self.config.num_actions))
+        return PolicyStepOutput(
+            action=action,
+            log_probs=log_probs_np,
+            probabilities=probs,
+            value=float(value.numpy().reshape(-1)[0]),
+            hidden_state=next_hidden.numpy(),
+        )
+
+    def hidden_dim(self) -> int:
+        return self.config.hidden_size

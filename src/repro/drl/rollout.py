@@ -1,0 +1,143 @@
+"""Rollout collection: running the recurrent policy in the environment.
+
+The trainer and the QBN/FSM extraction stages both need trajectories of
+``<h_t, h_{t+1}, o_t, a_t, r_t>`` tuples (the dataset of paper Section
+3.2.1).  Rollouts are collected in inference mode (no autograd graph);
+the A2C trainer later re-runs the recurrent forward pass over the stored
+observations with gradients enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.drl.policy import RecurrentPolicyValueNet
+from repro.env.environment import StorageAllocationEnv
+from repro.errors import TrainingError
+from repro.storage.workload import WorkloadTrace
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One step of interaction."""
+
+    observation: np.ndarray
+    raw_observation: np.ndarray
+    hidden_before: np.ndarray
+    hidden_after: np.ndarray
+    action: int
+    reward: float
+    value_estimate: float
+    done: bool
+
+
+@dataclass
+class Trajectory:
+    """A full episode of transitions plus episode-level outcomes."""
+
+    trace_name: str
+    transitions: List[Transition] = field(default_factory=list)
+    makespan: int = 0
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(t.reward for t in self.transitions))
+
+    def observations(self) -> np.ndarray:
+        """Normalised observations stacked as (T, obs_dim)."""
+        return np.stack([t.observation for t in self.transitions])
+
+    def raw_observations(self) -> np.ndarray:
+        return np.stack([t.raw_observation for t in self.transitions])
+
+    def hidden_states_before(self) -> np.ndarray:
+        return np.stack([t.hidden_before for t in self.transitions])
+
+    def hidden_states_after(self) -> np.ndarray:
+        return np.stack([t.hidden_after for t in self.transitions])
+
+    def actions(self) -> np.ndarray:
+        return np.array([t.action for t in self.transitions], dtype=int)
+
+    def rewards(self) -> np.ndarray:
+        return np.array([t.reward for t in self.transitions], dtype=float)
+
+    def discounted_returns(self, gamma: float) -> np.ndarray:
+        """Monte-Carlo discounted returns G_t for every step."""
+        if not 0.0 <= gamma <= 1.0:
+            raise TrainingError(f"gamma must be in [0, 1], got {gamma}")
+        rewards = self.rewards()
+        returns = np.zeros_like(rewards)
+        running = 0.0
+        for t in range(len(rewards) - 1, -1, -1):
+            running = rewards[t] + gamma * running
+            returns[t] = running
+        return returns
+
+
+class RolloutCollector:
+    """Collects trajectories by running a policy in the environment."""
+
+    def __init__(self, env: StorageAllocationEnv, rng: SeedLike = None) -> None:
+        self.env = env
+        self._rng = new_rng(rng)
+
+    def collect(
+        self,
+        policy: RecurrentPolicyValueNet,
+        trace: WorkloadTrace,
+        epsilon: float = 0.0,
+        greedy: bool = False,
+        episode_seed: Optional[int] = None,
+    ) -> Trajectory:
+        """Run one episode of ``policy`` on ``trace`` and record every transition."""
+        observation = self.env.reset(trace, rng=episode_seed)
+        hidden = policy.initial_state().numpy()
+        trajectory = Trajectory(trace_name=trace.name)
+
+        while True:
+            normalized = self.env.observation_encoder.normalize(observation)
+            raw = observation.raw()
+            output = policy.act(
+                normalized, hidden, rng=self._rng, epsilon=epsilon, greedy=greedy
+            )
+            result = self.env.step(output.action)
+            trajectory.transitions.append(
+                Transition(
+                    observation=normalized,
+                    raw_observation=raw,
+                    hidden_before=hidden,
+                    hidden_after=output.hidden_state,
+                    action=output.action,
+                    reward=result.reward,
+                    value_estimate=output.value,
+                    done=result.done,
+                )
+            )
+            hidden = output.hidden_state
+            observation = result.observation
+            if result.done:
+                trajectory.makespan = int(result.info["makespan"])
+                trajectory.truncated = bool(result.info["truncated"])
+                break
+        return trajectory
+
+    def collect_many(
+        self,
+        policy: RecurrentPolicyValueNet,
+        traces: List[WorkloadTrace],
+        epsilon: float = 0.0,
+        greedy: bool = False,
+    ) -> List[Trajectory]:
+        """Collect one trajectory per trace."""
+        return [
+            self.collect(policy, trace, epsilon=epsilon, greedy=greedy) for trace in traces
+        ]

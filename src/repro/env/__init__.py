@@ -1,0 +1,24 @@
+"""Markov-decision-process wrapper around the storage simulator.
+
+This package turns :class:`~repro.storage.simulator.StorageSimulator`
+into the MDP of paper Section 3.1: a 35-dimensional observation
+(core counts, per-level utilisation, the 14-dim S and I workload vectors
+and the request count Q), a 7-way discrete action space (the migration
+actions) and a reward equal to the inverse makespan.
+"""
+
+from repro.env.observation import Observation, ObservationEncoder
+from repro.env.action import ActionSpace
+from repro.env.reward import RewardConfig, compute_step_reward, compute_terminal_reward
+from repro.env.environment import StorageAllocationEnv, StepResult
+
+__all__ = [
+    "Observation",
+    "ObservationEncoder",
+    "ActionSpace",
+    "RewardConfig",
+    "compute_step_reward",
+    "compute_terminal_reward",
+    "StorageAllocationEnv",
+    "StepResult",
+]

@@ -1,0 +1,56 @@
+"""Discrete action space of the environment (the 7 migration actions)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import EnvironmentError_
+from repro.storage.cores import CorePool
+from repro.storage.migration import NUM_ACTIONS, MigrationAction, all_actions
+from repro.utils.rng import SeedLike, new_rng
+
+
+class ActionSpace:
+    """The seven-action migration space with validity masking.
+
+    The paper's action space A = {a_1, ..., a_7}: no-op plus the six
+    directed single-core migrations.  ``valid_mask`` marks actions that
+    would violate the minimum-cores-per-level constraint; the simulator
+    treats such actions as no-ops, but agents can use the mask to avoid
+    wasting decisions on them.
+    """
+
+    def __init__(self) -> None:
+        self.actions: List[MigrationAction] = all_actions()
+
+    @property
+    def size(self) -> int:
+        return NUM_ACTIONS
+
+    def contains(self, action: int) -> bool:
+        return 0 <= int(action) < NUM_ACTIONS
+
+    def to_action(self, index: int) -> MigrationAction:
+        if not self.contains(index):
+            raise EnvironmentError_(
+                f"action index {index} outside [0, {NUM_ACTIONS})"
+            )
+        return MigrationAction(int(index))
+
+    def sample(self, rng: SeedLike = None) -> MigrationAction:
+        rng = new_rng(rng)
+        return MigrationAction(int(rng.integers(NUM_ACTIONS)))
+
+    def valid_mask(self, pool: CorePool) -> np.ndarray:
+        """Boolean mask of actions that are currently legal migrations."""
+        mask = np.ones(NUM_ACTIONS, dtype=bool)
+        for action in self.actions:
+            if action.is_noop:
+                continue
+            mask[int(action)] = pool.can_migrate(action.source, action.destination)
+        return mask
+
+    def names(self) -> List[str]:
+        return [action.short_name for action in self.actions]

@@ -1,0 +1,159 @@
+"""Observation construction and normalisation.
+
+The paper defines the observation at interval ``t`` as
+
+    o_t = [c_N, c_K, c_R, u_N, u_K, u_R, w(t), Q_w(t)]
+
+where ``w(t)`` contributes the 14-dim signed-size vector ``S`` and the
+14-dim mixing-ratio vector ``I``.  The raw observation therefore has
+3 + 3 + 14 + 14 + 1 = 35 entries.  A normalised variant (all features in
+roughly [-1, 1]) is what the neural networks and the FSM similarity
+matcher consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import EnvironmentError_
+from repro.storage.iorequest import NUM_IO_TYPES, standard_io_types
+from repro.storage.levels import LEVELS, Level
+from repro.storage.simulator import StorageSystemConfig
+from repro.storage.workload import WorkloadInterval
+
+OBSERVATION_DIM = 3 + 3 + NUM_IO_TYPES + NUM_IO_TYPES + 1
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One environment observation in both raw and normalised forms."""
+
+    core_counts: np.ndarray
+    utilization: np.ndarray
+    size_vector: np.ndarray
+    ratio_vector: np.ndarray
+    total_requests: float
+
+    def raw(self) -> np.ndarray:
+        """The paper's o_t as a flat 35-vector (unnormalised)."""
+        return np.concatenate(
+            [
+                self.core_counts,
+                self.utilization,
+                self.size_vector,
+                self.ratio_vector,
+                [self.total_requests],
+            ]
+        ).astype(float)
+
+    @property
+    def normal_cores(self) -> float:
+        return float(self.core_counts[0])
+
+    @property
+    def kv_cores(self) -> float:
+        return float(self.core_counts[1])
+
+    @property
+    def rv_cores(self) -> float:
+        return float(self.core_counts[2])
+
+    def capacity_ratio(self) -> float:
+        """Ratio of NORMAL capacity to KV+RV capacity (used in Fig. 6 analysis)."""
+        other = self.kv_cores + self.rv_cores
+        if other <= 0:
+            return float("inf")
+        return self.normal_cores / other
+
+    def read_intensity_kb(self) -> float:
+        """Kilobytes of read IO described by this observation's workload."""
+        sizes = np.abs(self.size_vector)
+        reads = self.size_vector > 0
+        return float((sizes * self.ratio_vector * reads).sum() * self.total_requests)
+
+    def write_intensity_kb(self) -> float:
+        """Kilobytes of write IO described by this observation's workload."""
+        sizes = np.abs(self.size_vector)
+        writes = self.size_vector < 0
+        return float((sizes * self.ratio_vector * writes).sum() * self.total_requests)
+
+
+class ObservationEncoder:
+    """Builds :class:`Observation` objects and their normalised vectors."""
+
+    def __init__(self, system_config: StorageSystemConfig, nominal_requests: float = None) -> None:
+        system_config.validate()
+        self.system_config = system_config
+        sizes = np.array([t.size_kb for t in standard_io_types()])
+        self._max_size_kb = float(sizes.max())
+        # Scale for Q: the request count that would saturate the array if
+        # every request had the mean size.  Used only for normalisation.
+        mean_size = float(sizes.mean())
+        default_nominal = system_config.total_capability_kb() / mean_size
+        self._nominal_requests = float(nominal_requests or default_nominal)
+        if self._nominal_requests <= 0:
+            raise EnvironmentError_("nominal_requests must be positive")
+
+    @property
+    def dimension(self) -> int:
+        return OBSERVATION_DIM
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        core_counts: Dict[Level, int],
+        utilization: Dict[Level, float],
+        workload: WorkloadInterval,
+    ) -> Observation:
+        counts = np.array([float(core_counts[level]) for level in LEVELS])
+        utils = np.array([float(utilization[level]) for level in LEVELS])
+        return Observation(
+            core_counts=counts,
+            utilization=utils,
+            size_vector=workload.size_vector(),
+            ratio_vector=np.array(workload.ratios, dtype=float),
+            total_requests=float(workload.total_requests),
+        )
+
+    # ------------------------------------------------------------------
+    # Normalisation
+    # ------------------------------------------------------------------
+    def normalize(self, observation: Observation) -> np.ndarray:
+        """Map an observation to a float vector with entries in roughly [-1, 1]."""
+        counts = observation.core_counts / float(self.system_config.total_cores)
+        utils = np.clip(observation.utilization, 0.0, 1.0)
+        sizes = observation.size_vector / self._max_size_kb
+        ratios = observation.ratio_vector
+        requests = np.array([observation.total_requests / self._nominal_requests])
+        return np.concatenate([counts, utils, sizes, ratios, requests]).astype(float)
+
+    def normalize_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Normalise a raw 35-vector (as produced by :meth:`Observation.raw`)."""
+        raw = np.asarray(raw, dtype=float)
+        if raw.shape != (OBSERVATION_DIM,):
+            raise EnvironmentError_(
+                f"raw observation must have shape ({OBSERVATION_DIM},), got {raw.shape}"
+            )
+        observation = self.split_raw(raw)
+        return self.normalize(observation)
+
+    def split_raw(self, raw: np.ndarray) -> Observation:
+        """Rebuild an :class:`Observation` from its raw 35-vector."""
+        raw = np.asarray(raw, dtype=float)
+        if raw.shape != (OBSERVATION_DIM,):
+            raise EnvironmentError_(
+                f"raw observation must have shape ({OBSERVATION_DIM},), got {raw.shape}"
+            )
+        n = NUM_IO_TYPES
+        return Observation(
+            core_counts=raw[0:3].copy(),
+            utilization=raw[3:6].copy(),
+            size_vector=raw[6 : 6 + n].copy(),
+            ratio_vector=raw[6 + n : 6 + 2 * n].copy(),
+            total_requests=float(raw[6 + 2 * n]),
+        )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so that callers can catch library problems without
+accidentally swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object carries invalid or inconsistent values."""
+
+
+class SimulationError(ReproError):
+    """The storage simulator was driven into an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or specification is malformed."""
+
+
+class EnvironmentError_(ReproError):
+    """The RL environment was used incorrectly (e.g. step before reset)."""
+
+
+class AutogradError(ReproError):
+    """An invalid operation was requested on the autograd graph."""
+
+
+class ShapeError(AutogradError):
+    """Tensor operands have incompatible shapes."""
+
+
+class TrainingError(ReproError):
+    """A training loop was configured or driven incorrectly."""
+
+
+class ExtractionError(ReproError):
+    """FSM extraction could not be completed (e.g. empty rollouts)."""
+
+
+class SerializationError(ReproError):
+    """An artefact could not be saved or loaded."""

@@ -1,0 +1,85 @@
+"""Deploying an extracted FSM as a controller."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.agents.base import Agent
+from repro.env.observation import Observation, ObservationEncoder
+from repro.errors import ExtractionError
+from repro.fsm.extraction import ExtractionResult
+from repro.fsm.generalize import NearestObservationMatcher
+from repro.fsm.machine import FiniteStateMachine, StateKey
+from repro.qbn.autoencoder import QuantizedBottleneckNetwork
+from repro.qbn.quantize import code_key
+from repro.storage.migration import MigrationAction
+
+
+class FSMPolicyAgent(Agent):
+    """Runs the extracted finite state machine as a white-box controller.
+
+    Each decision quantises the current observation with the observation
+    QBN; if the resulting code was never seen during extraction, the
+    nearest-observation matcher substitutes the closest known code
+    (paper Section 3.2.2).  The machine then advances one transition and
+    emits the action of the new state.
+    """
+
+    name = "extracted_fsm"
+
+    def __init__(
+        self,
+        fsm: FiniteStateMachine,
+        observation_qbn: QuantizedBottleneckNetwork,
+        encoder: ObservationEncoder,
+        matcher: Optional[NearestObservationMatcher] = None,
+    ) -> None:
+        if fsm.num_states == 0:
+            raise ExtractionError("cannot deploy an FSM with no states")
+        self.fsm = fsm
+        self.observation_qbn = observation_qbn
+        self.encoder = encoder
+        self.matcher = matcher
+        self._state: Optional[StateKey] = None
+        self.unseen_observation_count = 0
+
+    @classmethod
+    def from_extraction(
+        cls, result: ExtractionResult, encoder: ObservationEncoder,
+        observation_qbn: QuantizedBottleneckNetwork,
+    ) -> "FSMPolicyAgent":
+        """Convenience constructor from an :class:`ExtractionResult`."""
+        return cls(
+            fsm=result.fsm,
+            observation_qbn=observation_qbn,
+            encoder=encoder,
+            matcher=result.matcher,
+        )
+
+    def reset(self) -> None:
+        self._state = self._starting_state()
+        self.unseen_observation_count = 0
+
+    def _starting_state(self) -> StateKey:
+        if self.fsm.initial_state is not None and self.fsm.initial_state in self.fsm.states:
+            return self.fsm.initial_state
+        # Fall back to the most-visited state.
+        return max(self.fsm.states, key=lambda code: self.fsm.states[code].visit_count)
+
+    def act(self, observation: Observation) -> MigrationAction:
+        if self._state is None:
+            self.reset()
+        normalized = self.encoder.normalize(observation)
+        observation_code = code_key(self.observation_qbn.discrete_code(normalized))
+        known = observation_code in self.fsm.observation_prototypes
+        if not known and self.matcher is not None:
+            observation_code = self.matcher.match(normalized)
+            self.unseen_observation_count += 1
+        self._state, action = self.fsm.step(self._state, observation_code)
+        return action
+
+    @property
+    def current_state_label(self) -> str:
+        if self._state is None:
+            self.reset()
+        return self.fsm.states[self._state].label

@@ -1,0 +1,88 @@
+"""Generalisation to unseen observations (paper Section 3.2.2, second method).
+
+The extracted FSM only knows the observation codes it saw during
+extraction.  At deployment time an unseen observation is classified as
+its closest known observation — "the state space has a certain
+continuity and similar observations could trigger similar actions" —
+using Euclidean distance or cosine similarity over the (continuous,
+normalised) observation vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExtractionError
+
+ObservationKey = Tuple[int, ...]
+
+
+def _euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b))
+
+
+def _cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm <= 1e-12:
+        return 1.0
+    return 1.0 - float(np.dot(a, b) / norm)
+
+
+SIMILARITY_METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "euclidean": _euclidean,
+    "cosine": _cosine_distance,
+}
+
+
+class NearestObservationMatcher:
+    """Maps observation vectors to the nearest known observation code."""
+
+    def __init__(
+        self,
+        prototypes: Dict[ObservationKey, np.ndarray],
+        metric: str = "euclidean",
+        encoder: Optional[Callable[[np.ndarray], ObservationKey]] = None,
+    ) -> None:
+        if not prototypes:
+            raise ExtractionError("matcher needs at least one known observation prototype")
+        if metric not in SIMILARITY_METRICS:
+            raise ExtractionError(
+                f"unknown similarity metric {metric!r}; available: {sorted(SIMILARITY_METRICS)}"
+            )
+        self.metric_name = metric
+        self._distance = SIMILARITY_METRICS[metric]
+        self._encoder = encoder
+        self._keys = list(prototypes.keys())
+        self._matrix = np.stack([np.asarray(prototypes[k], dtype=float) for k in self._keys])
+
+    @property
+    def num_prototypes(self) -> int:
+        return len(self._keys)
+
+    def match(self, observation_vector: np.ndarray) -> ObservationKey:
+        """Return the known observation code closest to ``observation_vector``.
+
+        If an encoder was provided and it maps the vector to a code that
+        is already known, that exact code is returned without a search.
+        """
+        vector = np.asarray(observation_vector, dtype=float)
+        if self._encoder is not None:
+            exact = self._encoder(vector)
+            if exact in set(self._keys):
+                return exact
+        if self.metric_name == "euclidean":
+            distances = np.linalg.norm(self._matrix - vector[None, :], axis=1)
+        else:
+            distances = np.array(
+                [self._distance(row, vector) for row in self._matrix]
+            )
+        return self._keys[int(np.argmin(distances))]
+
+    def distance_to_nearest(self, observation_vector: np.ndarray) -> float:
+        """Distance from ``observation_vector`` to its nearest prototype."""
+        vector = np.asarray(observation_vector, dtype=float)
+        return float(
+            min(self._distance(row, vector) for row in self._matrix)
+        )

@@ -1,0 +1,62 @@
+"""Rendering of extracted FSMs as Graphviz DOT and text tables (Figure 5)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fsm.extraction import TransitionRecord
+from repro.fsm.interpretation import fan_in_out_statistics
+from repro.fsm.machine import FiniteStateMachine
+from repro.utils.tables import format_table
+
+
+def fsm_to_dot(fsm: FiniteStateMachine, name: str = "extracted_fsm") -> str:
+    """Render the machine as a Graphviz DOT digraph.
+
+    Node line width encodes visit counts (the paper's Figure 5 encodes
+    the same information with circle thickness).
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    max_visits = max((state.visit_count for state in fsm.states.values()), default=1)
+    for state in fsm.states_by_id():
+        penwidth = 1.0 + 4.0 * (state.visit_count / max_visits if max_visits else 0.0)
+        shape_attrs = f'label="{state.label}\\n{state.action_name}", penwidth={penwidth:.2f}'
+        if fsm.initial_state is not None and state.code == fsm.initial_state:
+            shape_attrs += ", style=bold"
+        lines.append(f'  "{state.label}" [{shape_attrs}];')
+    for (source, destination), count in sorted(
+        fsm.transition_counts.items(), key=lambda item: -item[1]
+    ):
+        if source not in fsm.states or destination not in fsm.states:
+            continue
+        src_label = fsm.states[source].label
+        dst_label = fsm.states[destination].label
+        lines.append(f'  "{src_label}" -> "{dst_label}" [label="{count}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fsm_summary_table(
+    fsm: FiniteStateMachine, records: Sequence[TransitionRecord] | None = None
+) -> str:
+    """Text table of states, actions, visits and (optionally) utilisation shifts."""
+    headers = ["state", "action", "visits", "self_loops", "out_degree"]
+    include_shifts = bool(records)
+    if include_shifts:
+        headers += ["d_util_N", "d_util_KV", "d_util_RV"]
+        fan_stats = fan_in_out_statistics(fsm, records)
+
+    rows = []
+    for state in fsm.states_by_id():
+        successors = fsm.successors(state.code)
+        self_loops = successors.get(state.code, 0)
+        out_degree = len([dst for dst in successors if dst != state.code])
+        row = [state.label, state.action_name, state.visit_count, self_loops, out_degree]
+        if include_shifts:
+            shift = fan_stats[state.label].utilization_shift()
+            if shift is None:
+                row += ["-", "-", "-"]
+            else:
+                row += [f"{shift[0]:+.3f}", f"{shift[1]:+.3f}", f"{shift[2]:+.3f}"]
+        rows.append(row)
+    return format_table(headers, rows, title=f"Extracted FSM ({fsm.num_states} states)")

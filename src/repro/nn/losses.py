@@ -1,0 +1,15 @@
+"""Loss functions (thin re-export layer over :mod:`repro.autograd.functional`).
+
+Kept as a separate module so training code reads naturally
+(``from repro.nn import losses``) and so future losses have a home.
+"""
+
+from repro.autograd.functional import (
+    cross_entropy,
+    entropy,
+    huber_loss,
+    mse_loss,
+    nll_of_actions,
+)
+
+__all__ = ["cross_entropy", "entropy", "huber_loss", "mse_loss", "nll_of_actions"]

@@ -1,0 +1,119 @@
+"""Recurrent layers: a gated recurrent unit cell and a sequence wrapper.
+
+The paper uses a GRU with 128 hidden nodes as the recurrent backbone of
+the actor–critic network (Section 4.2).  The cell follows the standard
+formulation:
+
+    r_t = sigmoid(x_t W_xr + h_{t-1} W_hr + b_r)
+    z_t = sigmoid(x_t W_xz + h_{t-1} W_hz + b_z)
+    n_t = tanh   (x_t W_xn + r_t * (h_{t-1} W_hn) + b_n)
+    h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class GRUCell(Module):
+    """Single-step gated recurrent unit."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: SeedLike = None) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ShapeError(
+                f"GRUCell requires positive sizes, got input={input_size}, hidden={hidden_size}"
+            )
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+        def input_weight() -> Parameter:
+            return Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+
+        def hidden_weight() -> Parameter:
+            return Parameter(init.orthogonal((hidden_size, hidden_size), rng=rng))
+
+        self.w_xr = input_weight()
+        self.w_hr = hidden_weight()
+        self.b_r = Parameter(np.zeros(hidden_size))
+        self.w_xz = input_weight()
+        self.w_hz = hidden_weight()
+        self.b_z = Parameter(np.zeros(hidden_size))
+        self.w_xn = input_weight()
+        self.w_hn = hidden_weight()
+        self.b_n = Parameter(np.zeros(hidden_size))
+
+    def initial_state(self, batch_size: Optional[int] = None) -> Tensor:
+        """Return an all-zero hidden state (shape (H,) or (B, H))."""
+        if batch_size is None:
+            return Tensor(np.zeros(self.hidden_size))
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+    def forward(self, x: Tensor, h: Optional[Tensor] = None) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.shape[-1] != self.input_size:
+            raise ShapeError(
+                f"GRUCell expected input dim {self.input_size}, got shape {x.shape}"
+            )
+        if h is None:
+            h = self.initial_state(None if x.ndim == 1 else x.shape[0])
+        elif not isinstance(h, Tensor):
+            h = Tensor(h)
+        if h.shape[-1] != self.hidden_size:
+            raise ShapeError(
+                f"GRUCell expected hidden dim {self.hidden_size}, got shape {h.shape}"
+            )
+
+        reset = (x @ self.w_xr + h @ self.w_hr + self.b_r).sigmoid()
+        update = (x @ self.w_xz + h @ self.w_hz + self.b_z).sigmoid()
+        candidate = (x @ self.w_xn + reset * (h @ self.w_hn) + self.b_n).tanh()
+        one = Tensor(np.ones_like(update.data))
+        return (one - update) * candidate + update * h
+
+
+class GRU(Module):
+    """Unrolls a :class:`GRUCell` over a sequence.
+
+    Input shape is (T, input_size) for a single sequence or
+    (T, B, input_size) for a batch of sequences; the output is the stack
+    of hidden states with matching leading dimensions.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def initial_state(self, batch_size: Optional[int] = None) -> Tensor:
+        return self.cell.initial_state(batch_size)
+
+    def forward(
+        self, sequence: Tensor, h0: Optional[Tensor] = None
+    ) -> Tuple[Tensor, Tensor]:
+        """Return (all hidden states stacked over time, final hidden state)."""
+        if not isinstance(sequence, Tensor):
+            sequence = Tensor(sequence)
+        if sequence.ndim not in (2, 3):
+            raise ShapeError(
+                f"GRU expects (T, D) or (T, B, D) input, got shape {sequence.shape}"
+            )
+        steps = sequence.shape[0]
+        batch = sequence.shape[1] if sequence.ndim == 3 else None
+        h = h0 if h0 is not None else self.initial_state(batch)
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            h = self.cell(sequence[t], h)
+            outputs.append(h)
+        stacked = Tensor.stack(outputs, axis=0)
+        return stacked, h

@@ -1,0 +1,38 @@
+"""Gradient clipping utilities.
+
+The paper clips the global gradient norm to 2.0 before each optimiser
+step (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.autograd.tensor import Tensor
+
+
+def global_grad_norm(parameters: Sequence[Tensor]) -> float:
+    """Return the L2 norm of all gradients concatenated."""
+    total = 0.0
+    for param in parameters:
+        if param.grad is None:
+            continue
+        total += float((param.grad ** 2).sum())
+    return math.sqrt(total)
+
+
+def clip_grad_norm(parameters: Sequence[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns the norm before clipping, mirroring the PyTorch convention.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = global_grad_norm(parameters)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for param in parameters:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm

@@ -1,0 +1,37 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.autograd.tensor import Tensor
+from repro.errors import TrainingError
+
+
+class Optimizer:
+    """Holds a list of trainable tensors and applies updates from their grads."""
+
+    def __init__(self, parameters: Sequence[Tensor], lr: float) -> None:
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise TrainingError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise TrainingError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        self._step_count += 1
+        self._apply()
+
+    def _apply(self) -> None:  # pragma: no cover - interface method
+        raise NotImplementedError

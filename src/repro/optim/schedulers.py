@@ -1,0 +1,68 @@
+"""Learning-rate schedulers operating on an :class:`~repro.optim.optimizer.Optimizer`."""
+
+from __future__ import annotations
+
+from repro.errors import TrainingError
+from repro.optim.optimizer import Optimizer
+
+
+class _Scheduler:
+    """Base class: remembers the initial LR and tracks epochs."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        new_lr = self._compute_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    def _compute_lr(self) -> float:  # pragma: no cover - interface method
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """Keeps the learning rate fixed (explicit no-op scheduler)."""
+
+    def _compute_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiplies the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise TrainingError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise TrainingError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _compute_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+class LinearDecayLR(_Scheduler):
+    """Linearly decays the learning rate to ``final_fraction`` over ``total_epochs``."""
+
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, final_fraction: float = 0.1
+    ) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise TrainingError(f"total_epochs must be positive, got {total_epochs}")
+        if not 0.0 <= final_fraction <= 1.0:
+            raise TrainingError(f"final_fraction must be in [0, 1], got {final_fraction}")
+        self.total_epochs = total_epochs
+        self.final_fraction = final_fraction
+
+    def _compute_lr(self) -> float:
+        progress = min(1.0, self.epoch / self.total_epochs)
+        fraction = 1.0 - (1.0 - self.final_fraction) * progress
+        return self.base_lr * fraction

@@ -1,0 +1,28 @@
+"""End-to-end pipeline and evaluation harness.
+
+* :mod:`repro.pipeline.evaluation` — run any controller over workload
+  traces and compare makespans (the measurement behind Figure 4).
+* :mod:`repro.pipeline.learning_aided` — the paper's integrated
+  pipeline: curriculum-train the DRL policy, train the QBNs, extract the
+  FSM and interpret it.
+* :mod:`repro.pipeline.experiments` — parameterised runners that
+  regenerate each of the paper's figures (used by the benchmark suite).
+"""
+
+from repro.pipeline.evaluation import EvaluationResult, evaluate_agent, compare_agents
+from repro.pipeline.learning_aided import (
+    LearningAidedPipeline,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.pipeline import experiments
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_agent",
+    "compare_agents",
+    "LearningAidedPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "experiments",
+]

@@ -1,0 +1,119 @@
+"""Policy evaluation: makespan measurement and controller comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.errors import ConfigurationError
+from repro.storage.metrics import EpisodeMetrics
+from repro.storage.simulator import StorageSystemConfig
+from repro.storage.workload import WorkloadTrace
+from repro.utils.tables import format_table
+
+
+@dataclass
+class EvaluationResult:
+    """Per-trace makespans of one agent over an evaluation set."""
+
+    agent_name: str
+    trace_names: List[str] = field(default_factory=list)
+    makespans: List[int] = field(default_factory=list)
+    episodes: List[EpisodeMetrics] = field(default_factory=list)
+
+    def mean_makespan(self) -> float:
+        return float(np.mean(self.makespans)) if self.makespans else float("nan")
+
+    def total_makespan(self) -> int:
+        return int(np.sum(self.makespans)) if self.makespans else 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "agent": self.agent_name,
+            "mean_makespan": self.mean_makespan(),
+            "total_makespan": float(self.total_makespan()),
+            "traces": float(len(self.trace_names)),
+        }
+
+
+def evaluate_agent(
+    agent: Agent,
+    traces: Sequence[WorkloadTrace],
+    system_config: Optional[StorageSystemConfig] = None,
+    reward_config: Optional[RewardConfig] = None,
+    episode_seed: int = 0,
+) -> EvaluationResult:
+    """Run ``agent`` over every trace and record the makespans.
+
+    Every (agent, trace) episode is run with the same ``episode_seed`` so
+    that the stochastic parts of the simulator (core idling) are identical
+    across agents and the comparison isolates the allocation policy.
+    """
+    if not traces:
+        raise ConfigurationError("evaluate_agent needs at least one trace")
+    system_config = system_config or StorageSystemConfig()
+    result = EvaluationResult(agent_name=agent.name)
+    for index, trace in enumerate(traces):
+        env = StorageAllocationEnv(system_config, reward_config=reward_config)
+        observation = env.reset(trace, rng=episode_seed + index)
+        agent.reset()
+        while True:
+            step = env.step(agent.act(observation))
+            observation = step.observation
+            if step.done:
+                break
+        result.trace_names.append(trace.name)
+        result.makespans.append(env.simulator.makespan)
+        result.episodes.append(env.episode_metrics)
+    return result
+
+
+def compare_agents(
+    agents: Sequence[Agent],
+    traces: Sequence[WorkloadTrace],
+    system_config: Optional[StorageSystemConfig] = None,
+    reward_config: Optional[RewardConfig] = None,
+    episode_seed: int = 0,
+) -> Dict[str, EvaluationResult]:
+    """Evaluate several agents on the same traces with matched random seeds."""
+    results: Dict[str, EvaluationResult] = {}
+    for agent in agents:
+        results[agent.name] = evaluate_agent(
+            agent,
+            traces,
+            system_config=system_config,
+            reward_config=reward_config,
+            episode_seed=episode_seed,
+        )
+    return results
+
+
+def comparison_table(results: Dict[str, EvaluationResult]) -> str:
+    """Render a per-trace makespan table (rows = traces, columns = agents)."""
+    if not results:
+        raise ConfigurationError("comparison_table needs at least one result")
+    agent_names = list(results.keys())
+    first = results[agent_names[0]]
+    headers = ["trace"] + agent_names
+    rows = []
+    for index, trace_name in enumerate(first.trace_names):
+        row = [trace_name]
+        for name in agent_names:
+            row.append(results[name].makespans[index])
+        rows.append(row)
+    mean_row = ["MEAN"] + [round(results[name].mean_makespan(), 2) for name in agent_names]
+    rows.append(mean_row)
+    return format_table(headers, rows, title="Makespan comparison")
+
+
+def relative_reduction(baseline: EvaluationResult, improved: EvaluationResult) -> float:
+    """Mean relative makespan reduction of ``improved`` vs ``baseline`` (positive = better)."""
+    base = baseline.mean_makespan()
+    if base <= 0 or np.isnan(base):
+        raise ConfigurationError("baseline makespan must be positive")
+    return float((base - improved.mean_makespan()) / base)

@@ -1,0 +1,126 @@
+"""The quantized-bottleneck auto-encoder used for observations and hidden states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import ConfigurationError
+from repro.nn import Linear, Module
+from repro.qbn.quantize import quantize_ste, values_to_codes
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class QBNConfig:
+    """Shape of a quantized bottleneck network.
+
+    The paper uses ``quantization_levels`` k = 3 and ``latent_dim`` L = 64
+    (Section 4.2); smaller latent sizes produce coarser, smaller FSMs and
+    are used by the scaled-down benchmarks.
+    """
+
+    input_dim: int
+    latent_dim: int = 64
+    hidden_dim: int = 64
+    quantization_levels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.input_dim <= 0 or self.latent_dim <= 0 or self.hidden_dim <= 0:
+            raise ConfigurationError("QBN dimensions must be positive")
+        if self.quantization_levels < 2:
+            raise ConfigurationError("quantization_levels must be at least 2")
+
+
+class QuantizedBottleneckNetwork(Module):
+    """Auto-encoder with a k-level quantised latent code.
+
+    ``encode`` produces the quantised latent; ``decode`` reconstructs the
+    input; ``discrete_code`` returns integer level indices used as the
+    discrete identity of an observation or hidden state.
+    """
+
+    def __init__(self, config: QBNConfig, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.config = config
+        rng = new_rng(rng)
+        self.encoder_hidden = Linear(config.input_dim, config.hidden_dim, rng=rng)
+        self.encoder_latent = Linear(config.hidden_dim, config.latent_dim, rng=rng)
+        self.decoder_hidden = Linear(config.latent_dim, config.hidden_dim, rng=rng)
+        self.decoder_output = Linear(config.hidden_dim, config.input_dim, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Differentiable paths
+    # ------------------------------------------------------------------
+    def encode(self, x: Tensor) -> Tensor:
+        """Quantised latent code of ``x`` (values in the k-level alphabet)."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        hidden = self.encoder_hidden(x).tanh()
+        latent = self.encoder_latent(hidden).tanh()
+        return quantize_ste(latent, self.config.quantization_levels)
+
+    def decode(self, latent: Tensor) -> Tensor:
+        hidden = self.decoder_hidden(latent).tanh()
+        return self.decoder_output(hidden)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Reconstruction of ``x`` through the quantised bottleneck."""
+        return self.decode(self.encode(x))
+
+    # ------------------------------------------------------------------
+    # Inference helpers
+    # ------------------------------------------------------------------
+    def discrete_code(self, x: np.ndarray) -> np.ndarray:
+        """Integer code (level indices, shape (..., latent_dim)) of ``x``."""
+        with no_grad():
+            latent = self.encode(Tensor(np.asarray(x, dtype=float)))
+        return values_to_codes(latent.numpy(), self.config.quantization_levels)
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Numpy reconstruction (no gradient tracking)."""
+        with no_grad():
+            return self.forward(Tensor(np.asarray(x, dtype=float))).numpy()
+
+    def reconstruction_error(self, x: np.ndarray) -> float:
+        """Mean squared reconstruction error over a batch."""
+        x = np.asarray(x, dtype=float)
+        recon = self.reconstruct(x)
+        return float(np.mean((recon - x) ** 2))
+
+
+def build_observation_qbn(
+    observation_dim: int,
+    latent_dim: int = 16,
+    hidden_dim: int = 64,
+    quantization_levels: int = 3,
+    rng: SeedLike = None,
+) -> QuantizedBottleneckNetwork:
+    """Convenience constructor for the observation (OX) QBN."""
+    config = QBNConfig(
+        input_dim=observation_dim,
+        latent_dim=latent_dim,
+        hidden_dim=hidden_dim,
+        quantization_levels=quantization_levels,
+    )
+    return QuantizedBottleneckNetwork(config, rng=rng)
+
+
+def build_hidden_qbn(
+    hidden_dim_of_policy: int,
+    latent_dim: int = 16,
+    hidden_dim: int = 64,
+    quantization_levels: int = 3,
+    rng: SeedLike = None,
+) -> QuantizedBottleneckNetwork:
+    """Convenience constructor for the hidden-state (HX) QBN."""
+    config = QBNConfig(
+        input_dim=hidden_dim_of_policy,
+        latent_dim=latent_dim,
+        hidden_dim=hidden_dim,
+        quantization_levels=quantization_levels,
+    )
+    return QuantizedBottleneckNetwork(config, rng=rng)

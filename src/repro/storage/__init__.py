@@ -1,0 +1,49 @@
+"""Discrete-time simulator of the Dorado-V6-style multi-level storage system.
+
+The paper's experiments run against a purpose-built simulator of the
+CPU-core migration behaviour of the Huawei OceanStor Dorado V6 array
+(paper Section 4.1).  This package implements that simulator from the
+published problem description (Section 2):
+
+* three CPU levels — NORMAL, KV and RV — between which cores migrate;
+* 14 IO request types, each with a size and a read/write kind;
+* per-core maximum processing capability ``m`` per time interval;
+* cache misses at NORMAL with probability ``C`` that push extra work to
+  KV and RV;
+* polling (round-robin) assignment of requests to cores;
+* postponement of unfinished requests to later intervals (backlog);
+* a performance penalty in the interval following a core migration;
+* Poisson-distributed core idling (paper Section 4.1).
+"""
+
+from repro.storage.levels import Level, LEVELS
+from repro.storage.iorequest import IOKind, IORequestType, standard_io_types
+from repro.storage.workload import WorkloadInterval, WorkloadTrace
+from repro.storage.cores import Core, CorePool
+from repro.storage.cache import CacheModel, ConstantCacheModel, WorkingSetCacheModel
+from repro.storage.migration import MigrationAction, ACTION_NOOP, action_name, all_actions
+from repro.storage.simulator import StorageSimulator, StorageSystemConfig
+from repro.storage.metrics import IntervalMetrics, EpisodeMetrics
+
+__all__ = [
+    "Level",
+    "LEVELS",
+    "IOKind",
+    "IORequestType",
+    "standard_io_types",
+    "WorkloadInterval",
+    "WorkloadTrace",
+    "Core",
+    "CorePool",
+    "CacheModel",
+    "ConstantCacheModel",
+    "WorkingSetCacheModel",
+    "MigrationAction",
+    "ACTION_NOOP",
+    "action_name",
+    "all_actions",
+    "StorageSimulator",
+    "StorageSystemConfig",
+    "IntervalMetrics",
+    "EpisodeMetrics",
+]

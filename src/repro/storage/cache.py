@@ -1,0 +1,91 @@
+"""Cache-miss models for the NORMAL-level shared cache.
+
+The paper models cache misses with a single probability ``C``
+(Definition 3).  The simulator accepts any :class:`CacheModel`; the
+constant model reproduces the paper, and a working-set-sensitive model
+is provided for sensitivity studies (miss rate grows when the recent IO
+footprint exceeds the cache capacity).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+from repro.storage.workload import WorkloadInterval
+
+
+class CacheModel(ABC):
+    """Computes the probability that a read misses the NORMAL-level cache."""
+
+    @abstractmethod
+    def miss_rate(self, interval: WorkloadInterval) -> float:
+        """Return the cache-miss probability for reads in ``interval``."""
+
+    def reset(self) -> None:
+        """Clear any internal state between episodes (default: stateless)."""
+
+
+class ConstantCacheModel(CacheModel):
+    """Fixed miss probability ``C`` — the model used by the paper."""
+
+    def __init__(self, miss_rate: float = 0.3) -> None:
+        if not 0.0 <= miss_rate <= 1.0:
+            raise ConfigurationError(f"miss_rate must be in [0, 1], got {miss_rate}")
+        self._miss_rate = float(miss_rate)
+
+    def miss_rate(self, interval: WorkloadInterval) -> float:
+        return self._miss_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantCacheModel(miss_rate={self._miss_rate})"
+
+
+class WorkingSetCacheModel(CacheModel):
+    """Miss rate that rises with the recent read footprint.
+
+    The model keeps an exponentially weighted estimate of the read
+    working set (in KB).  When the working set is far below the cache
+    capacity the miss rate approaches ``base_miss_rate``; as it grows the
+    miss rate saturates towards ``max_miss_rate``.
+    """
+
+    def __init__(
+        self,
+        cache_capacity_kb: float = 512 * 1024,
+        base_miss_rate: float = 0.05,
+        max_miss_rate: float = 0.6,
+        decay: float = 0.7,
+    ) -> None:
+        if cache_capacity_kb <= 0:
+            raise ConfigurationError(
+                f"cache_capacity_kb must be positive, got {cache_capacity_kb}"
+            )
+        if not 0.0 <= base_miss_rate <= max_miss_rate <= 1.0:
+            raise ConfigurationError(
+                "miss rates must satisfy 0 <= base <= max <= 1, "
+                f"got base={base_miss_rate}, max={max_miss_rate}"
+            )
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
+        self.cache_capacity_kb = float(cache_capacity_kb)
+        self.base_miss_rate = float(base_miss_rate)
+        self.max_miss_rate = float(max_miss_rate)
+        self.decay = float(decay)
+        self._working_set_kb = 0.0
+
+    def reset(self) -> None:
+        self._working_set_kb = 0.0
+
+    def miss_rate(self, interval: WorkloadInterval) -> float:
+        self._working_set_kb = (
+            self.decay * self._working_set_kb + (1.0 - self.decay) * interval.read_kb()
+        )
+        pressure = min(1.0, self._working_set_kb / self.cache_capacity_kb)
+        return self.base_miss_rate + (self.max_miss_rate - self.base_miss_rate) * pressure
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkingSetCacheModel(capacity_kb={self.cache_capacity_kb}, "
+            f"base={self.base_miss_rate}, max={self.max_miss_rate})"
+        )

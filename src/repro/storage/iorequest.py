@@ -1,0 +1,95 @@
+"""IO request types.
+
+The paper describes each workload interval with two 14-dimensional
+vectors: ``S`` (the size and read/write kind of each of the 14 IO
+request types) and ``I`` (the fraction of each type in the interval).
+This module defines the canonical 14 types: seven block sizes, each in a
+read and a write variant, which mirrors how Vdbench workload profiles
+are normally specified.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+
+
+class IOKind(enum.Enum):
+    """Whether an IO request reads data from or writes data to the array."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class IORequestType:
+    """One of the 14 IO request classes.
+
+    Attributes
+    ----------
+    index:
+        Position of this type in the ``S``/``I`` vectors (0-based).
+    size_kb:
+        Request payload in kilobytes.
+    kind:
+        Read or write.
+    """
+
+    index: int
+    size_kb: float
+    kind: IOKind
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0:
+            raise WorkloadError(f"IO size must be positive, got {self.size_kb}")
+        if self.index < 0:
+            raise WorkloadError(f"IO type index must be non-negative, got {self.index}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is IOKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is IOKind.WRITE
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``"8K-read"``."""
+        size = f"{int(self.size_kb)}K" if self.size_kb < 1024 else f"{self.size_kb / 1024:g}M"
+        return f"{size}-{self.kind.value}"
+
+    @property
+    def signed_size(self) -> float:
+        """Encoding of size-and-kind as a single signed scalar (the paper's S_i).
+
+        Reads are positive, writes negative; the magnitude is the size in
+        KB.  This is how the observation vector encodes the ``S`` vector.
+        """
+        return self.size_kb if self.is_read else -self.size_kb
+
+
+_STANDARD_SIZES_KB: Tuple[float, ...] = (4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+def standard_io_types() -> List[IORequestType]:
+    """Return the canonical 14 IO request types (7 sizes x read/write)."""
+    types: List[IORequestType] = []
+    index = 0
+    for size in _STANDARD_SIZES_KB:
+        types.append(IORequestType(index=index, size_kb=size, kind=IOKind.READ))
+        index += 1
+    for size in _STANDARD_SIZES_KB:
+        types.append(IORequestType(index=index, size_kb=size, kind=IOKind.WRITE))
+        index += 1
+    return types
+
+
+NUM_IO_TYPES = len(_STANDARD_SIZES_KB) * 2
+"""Dimensionality of the S and I workload vectors (14 in the paper)."""

@@ -1,0 +1,30 @@
+"""The three CPU levels of the storage architecture."""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Level(enum.Enum):
+    """CPU residency level (paper Figure 1).
+
+    * ``NORMAL`` — cores serving IO from the shared cache.
+    * ``KV`` — Key-Value storage level, computing key-value mappings.
+    * ``RV`` — Resource Volume level, disk-resource virtualisation.
+    """
+
+    NORMAL = "NORMAL"
+    KV = "KV"
+    RV = "RV"
+
+    @property
+    def index(self) -> int:
+        return LEVELS.index(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+LEVELS: Tuple[Level, Level, Level] = (Level.NORMAL, Level.KV, Level.RV)
+"""Canonical level ordering used for vectors (NORMAL, KV, RV)."""

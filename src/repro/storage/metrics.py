@@ -1,0 +1,100 @@
+"""Per-interval and per-episode measurement records emitted by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.storage.levels import LEVELS, Level
+from repro.storage.migration import MigrationAction
+
+
+@dataclass(frozen=True)
+class IntervalMetrics:
+    """Everything the simulator measured during one time interval."""
+
+    interval: int
+    action: MigrationAction
+    migration_applied: bool
+    core_counts: Dict[Level, int]
+    utilization: Dict[Level, float]
+    incoming_kb: Dict[Level, float]
+    processed_kb: Dict[Level, float]
+    backlog_kb: Dict[Level, float]
+    capacity_kb: Dict[Level, float]
+    cache_miss_rate: float
+    idle_cores: Dict[Level, int]
+
+    @property
+    def total_backlog_kb(self) -> float:
+        return float(sum(self.backlog_kb.values()))
+
+    @property
+    def total_processed_kb(self) -> float:
+        return float(sum(self.processed_kb.values()))
+
+    def counts_vector(self) -> np.ndarray:
+        return np.array([self.core_counts[level] for level in LEVELS], dtype=float)
+
+    def utilization_vector(self) -> np.ndarray:
+        return np.array([self.utilization[level] for level in LEVELS], dtype=float)
+
+
+@dataclass
+class EpisodeMetrics:
+    """Aggregated statistics over a full simulated episode."""
+
+    trace_name: str = ""
+    intervals: List[IntervalMetrics] = field(default_factory=list)
+    truncated: bool = False
+
+    def record(self, metrics: IntervalMetrics) -> None:
+        self.intervals.append(metrics)
+
+    @property
+    def makespan(self) -> int:
+        """Number of intervals needed to finish all IO (the paper's K)."""
+        return len(self.intervals)
+
+    @property
+    def migrations(self) -> int:
+        return sum(1 for m in self.intervals if m.migration_applied)
+
+    @property
+    def total_processed_kb(self) -> float:
+        return float(sum(m.total_processed_kb for m in self.intervals))
+
+    def mean_utilization(self) -> Dict[Level, float]:
+        if not self.intervals:
+            return {level: 0.0 for level in LEVELS}
+        return {
+            level: float(np.mean([m.utilization[level] for m in self.intervals]))
+            for level in LEVELS
+        }
+
+    def utilization_series(self, level: Level) -> np.ndarray:
+        return np.array([m.utilization[level] for m in self.intervals])
+
+    def backlog_series(self) -> np.ndarray:
+        return np.array([m.total_backlog_kb for m in self.intervals])
+
+    def action_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for m in self.intervals:
+            key = m.action.short_name
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def as_summary(self) -> Dict[str, float]:
+        means = self.mean_utilization()
+        return {
+            "makespan": float(self.makespan),
+            "migrations": float(self.migrations),
+            "truncated": float(self.truncated),
+            "total_processed_kb": self.total_processed_kb,
+            "mean_util_normal": means[Level.NORMAL],
+            "mean_util_kv": means[Level.KV],
+            "mean_util_rv": means[Level.RV],
+        }

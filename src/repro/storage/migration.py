@@ -1,0 +1,92 @@
+"""The seven-action migration space (paper Section 3.1).
+
+Action ``a1`` is "no migration"; the remaining six actions move one core
+between an ordered pair of distinct levels.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.storage.levels import Level
+
+
+class MigrationAction(enum.IntEnum):
+    """Discrete action identifiers in canonical order."""
+
+    NOOP = 0
+    NORMAL_TO_KV = 1
+    NORMAL_TO_RV = 2
+    KV_TO_NORMAL = 3
+    KV_TO_RV = 4
+    RV_TO_NORMAL = 5
+    RV_TO_KV = 6
+
+    @property
+    def source(self) -> Optional[Level]:
+        return _ACTION_PAIRS[self][0]
+
+    @property
+    def destination(self) -> Optional[Level]:
+        return _ACTION_PAIRS[self][1]
+
+    @property
+    def is_noop(self) -> bool:
+        return self is MigrationAction.NOOP
+
+    @property
+    def short_name(self) -> str:
+        """Compact label matching the paper's figure notation (e.g. ``"N=>R"``)."""
+        if self.is_noop:
+            return "Noop"
+        abbrev = {Level.NORMAL: "N", Level.KV: "K", Level.RV: "R"}
+        return f"{abbrev[self.source]}=>{abbrev[self.destination]}"
+
+
+_ACTION_PAIRS = {
+    MigrationAction.NOOP: (None, None),
+    MigrationAction.NORMAL_TO_KV: (Level.NORMAL, Level.KV),
+    MigrationAction.NORMAL_TO_RV: (Level.NORMAL, Level.RV),
+    MigrationAction.KV_TO_NORMAL: (Level.KV, Level.NORMAL),
+    MigrationAction.KV_TO_RV: (Level.KV, Level.RV),
+    MigrationAction.RV_TO_NORMAL: (Level.RV, Level.NORMAL),
+    MigrationAction.RV_TO_KV: (Level.RV, Level.KV),
+}
+
+ACTION_NOOP = MigrationAction.NOOP
+NUM_ACTIONS = len(MigrationAction)
+
+
+def all_actions() -> List[MigrationAction]:
+    """All seven actions in canonical order."""
+    return list(MigrationAction)
+
+
+def action_name(action: int | MigrationAction) -> str:
+    """Short human-readable name of an action index."""
+    return MigrationAction(int(action)).short_name
+
+
+def action_from_levels(source: Optional[Level], destination: Optional[Level]) -> MigrationAction:
+    """Map a (source, destination) level pair back to its action."""
+    if source is None and destination is None:
+        return MigrationAction.NOOP
+    for action, (src, dst) in _ACTION_PAIRS.items():
+        if src is source and dst is destination:
+            return action
+    raise ConfigurationError(f"no action migrates {source} -> {destination}")
+
+
+def parse_action(value: int | str | MigrationAction) -> MigrationAction:
+    """Parse an action given as an index, enum or short name like ``"N=>K"``."""
+    if isinstance(value, MigrationAction):
+        return value
+    if isinstance(value, int):
+        return MigrationAction(value)
+    text = str(value).strip()
+    for action in MigrationAction:
+        if text.lower() in (action.short_name.lower(), action.name.lower()):
+            return action
+    raise ConfigurationError(f"unrecognised action {value!r}")

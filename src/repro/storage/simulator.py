@@ -1,0 +1,368 @@
+"""The storage-system simulator: core migration, IO processing and makespan.
+
+One :class:`StorageSimulator` instance simulates a single episode: a
+workload trace of ``T`` intervals is injected interval by interval, a
+controller chooses one of the seven migration actions per interval, and
+the episode ends once every injected kilobyte of IO work has been
+processed.  The number of elapsed intervals is the makespan ``K``
+(``K >= T``), the quantity all of the paper's experiments compare.
+
+Work model
+----------
+For an interval's workload ``w(t)`` the demand placed on each level is
+
+* NORMAL: every IO request's payload must be read from / written to the
+  shared cache, so NORMAL receives the full ``total_kb`` of the interval.
+* KV / RV: write requests always require key-value and resource-volume
+  work (``kv_write_factor`` / ``rv_write_factor`` kilobytes of work per
+  kilobyte of write payload); read requests only require KV/RV work when
+  they miss the cache (probability from the cache model), weighted by
+  ``kv_read_miss_factor`` / ``rv_read_miss_factor``.
+
+Each level keeps a backlog of unfinished work; unfinished requests are
+postponed to later intervals (paper Section 2, property 2).  Work inside
+a level is assigned to cores by the polling dispatcher, which does not
+redistribute work away from slow (penalised or idle) cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.storage.cache import CacheModel, ConstantCacheModel
+from repro.storage.cores import CorePool
+from repro.storage.dispatcher import get_dispatcher
+from repro.storage.levels import LEVELS, Level
+from repro.storage.metrics import EpisodeMetrics, IntervalMetrics
+from repro.storage.migration import MigrationAction
+from repro.storage.workload import WorkloadInterval, WorkloadTrace
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class StorageSystemConfig:
+    """Static parameters of the simulated storage array.
+
+    Defaults are chosen so that the standard workload profiles load the
+    array to roughly 70–120 % of its aggregate capability, which is the
+    regime in which core placement matters.
+    """
+
+    total_cores: int = 12
+    initial_allocation: Dict[str, int] = field(
+        default_factory=lambda: {"NORMAL": 6, "KV": 3, "RV": 3}
+    )
+    core_capability_kb: float = 40_000.0
+    cache_miss_rate: float = 0.3
+    migration_penalty: float = 0.2
+    migration_cooldown_intervals: int = 1
+    min_cores_per_level: int = 1
+    idle_rate: float = 0.04
+    kv_write_factor: float = 0.9
+    rv_write_factor: float = 0.7
+    kv_read_miss_factor: float = 0.5
+    rv_read_miss_factor: float = 0.35
+    dispatcher: str = "polling"
+    max_intervals_factor: float = 12.0
+    max_intervals_slack: int = 50
+
+    def validate(self) -> None:
+        allocation_total = sum(int(v) for v in self.initial_allocation.values())
+        if allocation_total != self.total_cores:
+            raise ConfigurationError(
+                f"initial allocation sums to {allocation_total} but total_cores={self.total_cores}"
+            )
+        if self.total_cores < 3 * self.min_cores_per_level:
+            raise ConfigurationError(
+                f"{self.total_cores} cores cannot satisfy min {self.min_cores_per_level} per level"
+            )
+        if self.core_capability_kb <= 0:
+            raise ConfigurationError("core_capability_kb must be positive")
+        if not 0.0 <= self.cache_miss_rate <= 1.0:
+            raise ConfigurationError("cache_miss_rate must be in [0, 1]")
+        if not 0.0 <= self.migration_penalty < 1.0:
+            raise ConfigurationError("migration_penalty must be in [0, 1)")
+        if self.migration_cooldown_intervals < 0:
+            raise ConfigurationError("migration_cooldown_intervals must be >= 0")
+        if self.idle_rate < 0:
+            raise ConfigurationError("idle_rate must be non-negative")
+        for name in (
+            "kv_write_factor",
+            "rv_write_factor",
+            "kv_read_miss_factor",
+            "rv_read_miss_factor",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.max_intervals_factor < 1.0:
+            raise ConfigurationError("max_intervals_factor must be >= 1")
+        get_dispatcher(self.dispatcher)
+
+    def with_overrides(self, **kwargs) -> "StorageSystemConfig":
+        """Return a copy with selected fields replaced."""
+        updated = replace(self, **kwargs)
+        updated.validate()
+        return updated
+
+    def build_cache_model(self) -> CacheModel:
+        return ConstantCacheModel(self.cache_miss_rate)
+
+    def total_capability_kb(self) -> float:
+        """Ideal maximum processing capability per interval (Definition 2)."""
+        return self.total_cores * self.core_capability_kb
+
+
+class StorageSimulator:
+    """Simulates CPU-core migration in the multi-level storage system."""
+
+    def __init__(
+        self,
+        config: Optional[StorageSystemConfig] = None,
+        cache_model: Optional[CacheModel] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.config = config or StorageSystemConfig()
+        self.config.validate()
+        self.cache_model = cache_model or self.config.build_cache_model()
+        self._dispatch = get_dispatcher(self.config.dispatcher)
+        self._rng = new_rng(rng)
+        self._trace: Optional[WorkloadTrace] = None
+        self._pool: Optional[CorePool] = None
+        self._backlog: Dict[Level, float] = {level: 0.0 for level in LEVELS}
+        self._interval_index = 0
+        self._last_utilization: Dict[Level, float] = {level: 0.0 for level in LEVELS}
+        self._episode: Optional[EpisodeMetrics] = None
+        self._max_intervals = 0
+
+    # ------------------------------------------------------------------
+    # Episode control
+    # ------------------------------------------------------------------
+    def reset(self, trace: WorkloadTrace, rng: SeedLike = None) -> None:
+        """Start a new episode over ``trace``."""
+        if len(trace) == 0:
+            raise SimulationError(f"trace {trace.name!r} has no intervals")
+        if rng is not None:
+            self._rng = new_rng(rng)
+        self._trace = trace
+        self._pool = CorePool.create(
+            self.config.initial_allocation, self.config.min_cores_per_level
+        )
+        self._backlog = {level: 0.0 for level in LEVELS}
+        self._interval_index = 0
+        self._last_utilization = {level: 0.0 for level in LEVELS}
+        self._episode = EpisodeMetrics(trace_name=trace.name)
+        self.cache_model.reset()
+        self._max_intervals = int(
+            self.config.max_intervals_factor * len(trace) + self.config.max_intervals_slack
+        )
+
+    @property
+    def is_running(self) -> bool:
+        return self._trace is not None and not self.is_done
+
+    @property
+    def is_done(self) -> bool:
+        """True once all injected work is processed (or the safety cap hit)."""
+        if self._trace is None or self._episode is None:
+            return False
+        if self._episode.truncated:
+            return True
+        injected_all = self._interval_index >= len(self._trace)
+        drained = all(backlog <= 1e-9 for backlog in self._backlog.values())
+        return injected_all and drained
+
+    @property
+    def interval_index(self) -> int:
+        return self._interval_index
+
+    @property
+    def core_pool(self) -> CorePool:
+        self._require_episode()
+        return self._pool  # type: ignore[return-value]
+
+    @property
+    def episode_metrics(self) -> EpisodeMetrics:
+        self._require_episode()
+        return self._episode  # type: ignore[return-value]
+
+    @property
+    def makespan(self) -> int:
+        """Makespan so far (final value once :attr:`is_done`)."""
+        self._require_episode()
+        return self._episode.makespan  # type: ignore[union-attr]
+
+    def backlog_kb(self) -> Dict[Level, float]:
+        return dict(self._backlog)
+
+    def utilization(self) -> Dict[Level, float]:
+        return dict(self._last_utilization)
+
+    def core_counts(self) -> Dict[Level, int]:
+        self._require_episode()
+        return self._pool.counts()  # type: ignore[union-attr]
+
+    def current_workload(self) -> WorkloadInterval:
+        """The workload interval that will be injected by the next step."""
+        self._require_episode()
+        assert self._trace is not None
+        if self._interval_index < len(self._trace):
+            return self._trace[self._interval_index]
+        return WorkloadInterval.empty()
+
+    def _require_episode(self) -> None:
+        if self._trace is None or self._pool is None or self._episode is None:
+            raise SimulationError("simulator has not been reset with a trace")
+
+    # ------------------------------------------------------------------
+    # Demand computation
+    # ------------------------------------------------------------------
+    def demand_for(self, interval: WorkloadInterval) -> Dict[Level, float]:
+        """Kilobytes of work each level receives from ``interval``."""
+        miss_rate = self.cache_model.miss_rate(interval)
+        read_kb = interval.read_kb()
+        write_kb = interval.write_kb()
+        missed_read_kb = read_kb * miss_rate
+        return {
+            Level.NORMAL: read_kb + write_kb,
+            Level.KV: write_kb * self.config.kv_write_factor
+            + missed_read_kb * self.config.kv_read_miss_factor,
+            Level.RV: write_kb * self.config.rv_write_factor
+            + missed_read_kb * self.config.rv_read_miss_factor,
+        }
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, action: MigrationAction | int) -> IntervalMetrics:
+        """Advance the simulation by one time interval under ``action``."""
+        self._require_episode()
+        assert self._trace is not None and self._pool is not None and self._episode is not None
+        if self.is_done:
+            raise SimulationError("step() called on a finished episode")
+
+        action = MigrationAction(int(action))
+
+        # 1. Apply the migration decided for this interval.  The migrated
+        #    core starts working at its new level immediately but pays the
+        #    performance penalty for `migration_cooldown_intervals`.
+        migration_applied = False
+        if not action.is_noop:
+            migrated = self._pool.migrate_one(
+                action.source,
+                action.destination,
+                cooldown_intervals=self.config.migration_cooldown_intervals + 1,
+            )
+            migration_applied = migrated is not None
+
+        # 2. Inject this interval's workload (if the trace still has one).
+        if self._interval_index < len(self._trace):
+            workload = self._trace[self._interval_index]
+            cache_miss_rate = self.cache_model.miss_rate(workload)
+            incoming = self._incoming_with_miss_rate(workload, cache_miss_rate)
+        else:
+            cache_miss_rate = 0.0
+            incoming = {level: 0.0 for level in LEVELS}
+        for level in LEVELS:
+            self._backlog[level] += incoming[level]
+
+        # 3. Compute each level's per-core effective capacity and process.
+        utilization: Dict[Level, float] = {}
+        processed: Dict[Level, float] = {}
+        capacity: Dict[Level, float] = {}
+        idle_counts: Dict[Level, int] = {}
+        for level in LEVELS:
+            cores = self._pool.cores_at(level)
+            idle = self._sample_idle_cores(len(cores))
+            idle_counts[level] = idle
+            capacities = self._core_capacities(cores, idle)
+            result = self._dispatch(self._backlog[level], capacities)
+            processed[level] = result.total_processed
+            capacity[level] = result.total_capacity
+            utilization[level] = result.utilization
+            self._backlog[level] = max(0.0, self._backlog[level] - result.total_processed)
+
+        self._last_utilization = utilization
+
+        # 4. Advance time and decay migration penalties.
+        self._pool.tick()
+        self._interval_index += 1
+
+        metrics = IntervalMetrics(
+            interval=self._interval_index - 1,
+            action=action,
+            migration_applied=migration_applied,
+            core_counts=self._pool.counts(),
+            utilization=utilization,
+            incoming_kb=incoming,
+            processed_kb=processed,
+            backlog_kb=dict(self._backlog),
+            capacity_kb=capacity,
+            cache_miss_rate=cache_miss_rate,
+            idle_cores=idle_counts,
+        )
+        self._episode.record(metrics)
+
+        if self._episode.makespan >= self._max_intervals and not self.is_done:
+            self._episode.truncated = True
+        return metrics
+
+    def _incoming_with_miss_rate(
+        self, workload: WorkloadInterval, miss_rate: float
+    ) -> Dict[Level, float]:
+        read_kb = workload.read_kb()
+        write_kb = workload.write_kb()
+        missed_read_kb = read_kb * miss_rate
+        return {
+            Level.NORMAL: read_kb + write_kb,
+            Level.KV: write_kb * self.config.kv_write_factor
+            + missed_read_kb * self.config.kv_read_miss_factor,
+            Level.RV: write_kb * self.config.rv_write_factor
+            + missed_read_kb * self.config.rv_read_miss_factor,
+        }
+
+    def _sample_idle_cores(self, core_count: int) -> int:
+        """Number of cores at a level that are idle this interval (Poisson)."""
+        if core_count <= 1 or self.config.idle_rate <= 0:
+            return 0
+        idle = int(self._rng.poisson(self.config.idle_rate * core_count))
+        # Always keep at least one core active per level.
+        return min(idle, core_count - 1)
+
+    def _core_capacities(self, cores, idle_count: int) -> np.ndarray:
+        """Effective per-core capacities in KB for this interval."""
+        capability = self.config.core_capability_kb
+        capacities = np.array(
+            [
+                capability * (1.0 - self.config.migration_penalty)
+                if core.is_penalized
+                else capability
+                for core in cores
+            ],
+            dtype=float,
+        )
+        if idle_count > 0:
+            # Idle the cores with the largest remaining capacity last so the
+            # penalty of idling is conservative (idle full-speed cores first).
+            order = np.argsort(-capacities)
+            capacities[order[:idle_count]] = 0.0
+        return capacities
+
+    # ------------------------------------------------------------------
+    # Whole-episode convenience
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: WorkloadTrace,
+        policy: Callable[["StorageSimulator"], MigrationAction | int],
+        rng: SeedLike = None,
+    ) -> EpisodeMetrics:
+        """Run a full episode, asking ``policy(simulator)`` for each action."""
+        self.reset(trace, rng=rng)
+        while not self.is_done:
+            action = policy(self)
+            self.step(action)
+        return self.episode_metrics

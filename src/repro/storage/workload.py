@@ -1,0 +1,218 @@
+"""Workload model: per-interval IO mixes and whole traces.
+
+A workload interval ``w(t)`` is the paper's Definition 1: a vector ``S``
+of IO type descriptors (fixed by :func:`repro.storage.iorequest.standard_io_types`),
+a vector ``I`` of mixing ratios that sums to one, and a scalar ``Q``
+giving the total number of IO requests in the interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.storage.iorequest import NUM_IO_TYPES, IORequestType, standard_io_types
+
+_RATIO_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class WorkloadInterval:
+    """IO mix arriving during one time interval.
+
+    Attributes
+    ----------
+    ratios:
+        The ``I`` vector — fraction of requests of each of the 14 types.
+        Must be non-negative and sum to 1 (within tolerance).
+    total_requests:
+        The scalar ``Q`` — number of IO requests arriving in the interval.
+    """
+
+    ratios: np.ndarray
+    total_requests: float
+
+    def __post_init__(self) -> None:
+        ratios = np.asarray(self.ratios, dtype=float)
+        if ratios.shape != (NUM_IO_TYPES,):
+            raise WorkloadError(
+                f"ratios must have shape ({NUM_IO_TYPES},), got {ratios.shape}"
+            )
+        if np.any(ratios < -_RATIO_TOLERANCE):
+            raise WorkloadError("ratios must be non-negative")
+        total = float(ratios.sum())
+        if abs(total - 1.0) > 1e-3:
+            raise WorkloadError(f"ratios must sum to 1, got {total:.6f}")
+        if self.total_requests < 0:
+            raise WorkloadError(
+                f"total_requests must be non-negative, got {self.total_requests}"
+            )
+        # Normalise exactly and freeze the array.
+        normalised = np.clip(ratios, 0.0, None)
+        normalised = normalised / normalised.sum() if normalised.sum() > 0 else normalised
+        object.__setattr__(self, "ratios", normalised)
+        object.__setattr__(self, "total_requests", float(self.total_requests))
+        self.ratios.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def request_counts(self, io_types: Optional[Sequence[IORequestType]] = None) -> np.ndarray:
+        """Expected number of requests of each type in this interval."""
+        return self.ratios * self.total_requests
+
+    def bytes_by_type(self, io_types: Optional[Sequence[IORequestType]] = None) -> np.ndarray:
+        """Expected kilobytes of IO of each type in this interval."""
+        io_types = list(io_types) if io_types is not None else standard_io_types()
+        sizes = np.array([t.size_kb for t in io_types])
+        return self.request_counts() * sizes
+
+    def total_kb(self) -> float:
+        """Total expected kilobytes across all types."""
+        return float(self.bytes_by_type().sum())
+
+    def read_kb(self) -> float:
+        io_types = standard_io_types()
+        per_type = self.bytes_by_type(io_types)
+        return float(sum(b for b, t in zip(per_type, io_types) if t.is_read))
+
+    def write_kb(self) -> float:
+        io_types = standard_io_types()
+        per_type = self.bytes_by_type(io_types)
+        return float(sum(b for b, t in zip(per_type, io_types) if t.is_write))
+
+    def write_fraction(self) -> float:
+        """Fraction of IO bytes that are writes (0 when the interval is empty)."""
+        total = self.total_kb()
+        if total <= 0:
+            return 0.0
+        return self.write_kb() / total
+
+    def size_vector(self) -> np.ndarray:
+        """The paper's ``S`` vector: signed sizes (+read / -write) of the 14 types."""
+        return np.array([t.signed_size for t in standard_io_types()])
+
+    def as_feature_vector(self) -> np.ndarray:
+        """Concatenate S, I and Q into the 29-value workload descriptor."""
+        return np.concatenate([self.size_vector(), self.ratios, [self.total_requests]])
+
+    def scaled(self, factor: float) -> "WorkloadInterval":
+        """Return a copy with the request count scaled by ``factor``."""
+        if factor < 0:
+            raise WorkloadError(f"scale factor must be non-negative, got {factor}")
+        return WorkloadInterval(self.ratios.copy(), self.total_requests * factor)
+
+    @staticmethod
+    def empty() -> "WorkloadInterval":
+        """An interval with no arriving IO (uniform ratios, zero requests)."""
+        ratios = np.full(NUM_IO_TYPES, 1.0 / NUM_IO_TYPES)
+        return WorkloadInterval(ratios, 0.0)
+
+
+@dataclass
+class WorkloadTrace:
+    """A named sequence of workload intervals.
+
+    ``metadata`` carries provenance (profile name, generator parameters,
+    snippet boundaries for sampled "real" traces, …).
+    """
+
+    name: str
+    intervals: List[WorkloadInterval] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("trace name must be non-empty")
+        self.intervals = list(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self) -> Iterator[WorkloadInterval]:
+        return iter(self.intervals)
+
+    def __getitem__(self, index: int) -> WorkloadInterval:
+        return self.intervals[index]
+
+    @property
+    def duration(self) -> int:
+        """Number of intervals with arriving IO (the paper's ``T``)."""
+        return len(self.intervals)
+
+    def append(self, interval: WorkloadInterval) -> None:
+        if not isinstance(interval, WorkloadInterval):
+            raise WorkloadError(f"expected WorkloadInterval, got {type(interval)!r}")
+        self.intervals.append(interval)
+
+    def total_kb(self) -> float:
+        return float(sum(interval.total_kb() for interval in self.intervals))
+
+    def total_requests(self) -> float:
+        return float(sum(interval.total_requests for interval in self.intervals))
+
+    def mean_write_fraction(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return float(np.mean([interval.write_fraction() for interval in self.intervals]))
+
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "WorkloadTrace":
+        """Return a sub-trace covering intervals ``[start, stop)``."""
+        if not 0 <= start <= stop <= len(self.intervals):
+            raise WorkloadError(
+                f"invalid slice [{start}, {stop}) for trace of length {len(self.intervals)}"
+            )
+        return WorkloadTrace(
+            name=name or f"{self.name}[{start}:{stop}]",
+            intervals=[self.intervals[i] for i in range(start, stop)],
+            metadata={**self.metadata, "sliced_from": self.name, "slice": (start, stop)},
+        )
+
+    @staticmethod
+    def concatenate(traces: Iterable["WorkloadTrace"], name: str) -> "WorkloadTrace":
+        """Concatenate several traces end to end."""
+        traces = list(traces)
+        if not traces:
+            raise WorkloadError("cannot concatenate an empty list of traces")
+        intervals: List[WorkloadInterval] = []
+        sources: List[str] = []
+        for trace in traces:
+            intervals.extend(trace.intervals)
+            sources.append(trace.name)
+        return WorkloadTrace(name=name, intervals=intervals, metadata={"sources": sources})
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Export as arrays: ``ratios`` (T, 14) and ``total_requests`` (T,)."""
+        if not self.intervals:
+            return {"ratios": np.zeros((0, NUM_IO_TYPES)), "total_requests": np.zeros(0)}
+        return {
+            "ratios": np.stack([interval.ratios for interval in self.intervals]),
+            "total_requests": np.array(
+                [interval.total_requests for interval in self.intervals]
+            ),
+        }
+
+    @staticmethod
+    def from_arrays(
+        name: str,
+        ratios: np.ndarray,
+        total_requests: np.ndarray,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "WorkloadTrace":
+        """Rebuild a trace from arrays produced by :meth:`to_arrays`."""
+        ratios = np.asarray(ratios, dtype=float)
+        total_requests = np.asarray(total_requests, dtype=float)
+        if ratios.ndim != 2 or ratios.shape[1] != NUM_IO_TYPES:
+            raise WorkloadError(f"ratios must be (T, {NUM_IO_TYPES}), got {ratios.shape}")
+        if total_requests.shape != (ratios.shape[0],):
+            raise WorkloadError(
+                f"total_requests must be (T,) matching ratios, got {total_requests.shape}"
+            )
+        intervals = [
+            WorkloadInterval(ratios[t], float(total_requests[t]))
+            for t in range(ratios.shape[0])
+        ]
+        return WorkloadTrace(name=name, intervals=intervals, metadata=dict(metadata or {}))

@@ -1,0 +1,21 @@
+"""General-purpose utilities shared across the library."""
+
+from repro.utils.rng import RngFactory, new_rng, spawn_rngs
+from repro.utils.stats import RunningStat, ExponentialMovingAverage, summarize
+from repro.utils.tables import format_table, format_series
+from repro.utils.serialization import save_json, load_json, save_npz, load_npz
+
+__all__ = [
+    "RngFactory",
+    "new_rng",
+    "spawn_rngs",
+    "RunningStat",
+    "ExponentialMovingAverage",
+    "summarize",
+    "format_table",
+    "format_series",
+    "save_json",
+    "load_json",
+    "save_npz",
+    "load_npz",
+]

@@ -1,0 +1,69 @@
+"""Saving/loading of experiment artefacts (JSON configs, npz weight bundles)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays into plain JSON-compatible values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+def save_json(path: PathLike, payload: Mapping[str, Any]) -> None:
+    """Write ``payload`` to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(_to_jsonable(dict(payload)), fh, indent=2, sort_keys=True)
+    except (TypeError, OSError) as exc:
+        raise SerializationError(f"could not write JSON to {path}: {exc}") from exc
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Load a JSON file written by :func:`save_json`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (json.JSONDecodeError, OSError) as exc:
+        raise SerializationError(f"could not read JSON from {path}: {exc}") from exc
+
+
+def save_npz(path: PathLike, arrays: Mapping[str, np.ndarray]) -> None:
+    """Save a mapping of arrays to a compressed ``.npz`` bundle."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        np.savez_compressed(path, **{str(k): np.asarray(v) for k, v in arrays.items()})
+    except (ValueError, OSError) as exc:
+        raise SerializationError(f"could not write npz to {path}: {exc}") from exc
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` bundle written by :func:`save_npz`."""
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            return {key: np.array(data[key]) for key in data.files}
+    except (ValueError, OSError) as exc:
+        raise SerializationError(f"could not read npz from {path}: {exc}") from exc

@@ -1,0 +1,129 @@
+"""Streaming statistics helpers used by trainers and the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+class RunningStat:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class ExponentialMovingAverage:
+    """EMA tracker used for smoothing learning curves."""
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        if self._value is None:
+            self._value = value
+        else:
+            self._value = self.alpha * value + (1.0 - self.alpha) * self._value
+        return self._value
+
+    @property
+    def value(self) -> float:
+        if self._value is None:
+            raise ValueError("EMA has not been updated yet")
+        return self._value
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    median: float
+    max: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "median": self.median,
+            "max": self.max,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Return a :class:`Summary` of ``values`` (empty input -> zeros)."""
+    if len(values) == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        median=float(np.median(arr)),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,68 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The paper's results are figures; our benchmark harnesses print the same
+rows/series as readable ASCII so the shape of each result can be
+inspected from the terminal or from captured benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(cell: object, floatfmt: str) -> str:
+    if isinstance(cell, float):
+        return format(cell, floatfmt)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_stringify(c, floatfmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    floatfmt: str = ".3f",
+    max_points: int = 40,
+) -> str:
+    """Render an (x, y) series compactly, subsampling long series."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    if n > max_points:
+        idx = [round(i * (n - 1) / (max_points - 1)) for i in range(max_points)]
+    else:
+        idx = list(range(n))
+    pairs = ", ".join(
+        f"{xs[i]}:{_stringify(float(ys[i]), floatfmt)}" for i in idx
+    )
+    return f"{name} [{n} pts]: {pairs}"

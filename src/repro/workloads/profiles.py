@@ -1,0 +1,165 @@
+"""The 12 standard business-model workload profiles.
+
+The paper synthesises "12 classes of standard workload traces …, each of
+which is associated with one typical business model of the users, such
+as database, heavy computing, etc." (Section 4.1).  The exact Vdbench
+configurations are proprietary; the profiles below encode the commonly
+published characteristics of those business models (block sizes,
+read/write ratios, diurnal periodicity, trends) and are the fixed,
+documented workload suite of this reproduction.
+
+Size weight vectors are over (4K, 8K, 16K, 32K, 64K, 128K, 256K).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import IntensityModel, WorkloadProfile
+
+
+def _profile(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+STANDARD_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in [
+        _profile(
+            name="oltp_database",
+            description="OLTP database: small random IO, read-mostly with bursts of commits",
+            read_fraction=0.7,
+            read_size_weights=[0.5, 0.3, 0.15, 0.05, 0.0, 0.0, 0.0],
+            write_size_weights=[0.4, 0.35, 0.2, 0.05, 0.0, 0.0, 0.0],
+            intensity=IntensityModel(base=1.0, amplitude=0.35, period=24, trend=0.0),
+            burstiness=0.18,
+            mix_jitter=0.06,
+        ),
+        _profile(
+            name="olap_database",
+            description="OLAP / analytics: large sequential reads, periodic batch loads",
+            read_fraction=0.85,
+            read_size_weights=[0.0, 0.0, 0.05, 0.1, 0.25, 0.3, 0.3],
+            write_size_weights=[0.0, 0.0, 0.05, 0.15, 0.3, 0.3, 0.2],
+            intensity=IntensityModel(base=0.95, amplitude=0.25, period=48, trend=0.0),
+            burstiness=0.12,
+            mix_jitter=0.05,
+        ),
+        _profile(
+            name="web_server",
+            description="Web serving: small reads dominate, light logging writes",
+            read_fraction=0.9,
+            read_size_weights=[0.45, 0.3, 0.15, 0.1, 0.0, 0.0, 0.0],
+            write_size_weights=[0.6, 0.25, 0.15, 0.0, 0.0, 0.0, 0.0],
+            intensity=IntensityModel(base=0.9, amplitude=0.45, period=24, phase=1.0),
+            burstiness=0.2,
+            mix_jitter=0.05,
+        ),
+        _profile(
+            name="file_server",
+            description="General file serving: mixed sizes, moderate writes",
+            read_fraction=0.65,
+            read_size_weights=[0.15, 0.2, 0.2, 0.2, 0.15, 0.07, 0.03],
+            write_size_weights=[0.1, 0.2, 0.25, 0.2, 0.15, 0.07, 0.03],
+            intensity=IntensityModel(base=0.9, amplitude=0.3, period=24),
+            burstiness=0.15,
+            mix_jitter=0.07,
+        ),
+        _profile(
+            name="vdi",
+            description="Virtual desktop infrastructure: boot/login storms, write-heavy steady state",
+            read_fraction=0.45,
+            read_size_weights=[0.4, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0],
+            write_size_weights=[0.35, 0.3, 0.2, 0.1, 0.05, 0.0, 0.0],
+            intensity=IntensityModel(base=1.0, amplitude=0.5, period=24, phase=0.5),
+            burstiness=0.25,
+            mix_jitter=0.08,
+        ),
+        _profile(
+            name="backup",
+            description="Backup window: very large sequential writes ramping up",
+            read_fraction=0.1,
+            read_size_weights=[0.0, 0.0, 0.0, 0.1, 0.2, 0.3, 0.4],
+            write_size_weights=[0.0, 0.0, 0.0, 0.05, 0.15, 0.3, 0.5],
+            intensity=IntensityModel(base=0.85, amplitude=0.2, period=48, trend=0.004),
+            burstiness=0.1,
+            mix_jitter=0.04,
+        ),
+        _profile(
+            name="video_streaming",
+            description="Media streaming: large sequential reads, negligible writes",
+            read_fraction=0.95,
+            read_size_weights=[0.0, 0.0, 0.0, 0.05, 0.15, 0.35, 0.45],
+            write_size_weights=[0.0, 0.0, 0.1, 0.2, 0.3, 0.2, 0.2],
+            intensity=IntensityModel(base=0.9, amplitude=0.4, period=24, phase=2.0),
+            burstiness=0.12,
+            mix_jitter=0.04,
+        ),
+        _profile(
+            name="heavy_compute",
+            description="HPC scratch / heavy computing: large reads and checkpoint write bursts",
+            read_fraction=0.55,
+            read_size_weights=[0.0, 0.05, 0.1, 0.15, 0.25, 0.25, 0.2],
+            write_size_weights=[0.0, 0.0, 0.05, 0.1, 0.25, 0.3, 0.3],
+            intensity=IntensityModel(base=1.05, amplitude=0.3, period=36),
+            burstiness=0.22,
+            mix_jitter=0.07,
+        ),
+        _profile(
+            name="email_server",
+            description="Email / collaboration: small mixed IO with business-hours period",
+            read_fraction=0.6,
+            read_size_weights=[0.35, 0.3, 0.2, 0.1, 0.05, 0.0, 0.0],
+            write_size_weights=[0.3, 0.3, 0.25, 0.1, 0.05, 0.0, 0.0],
+            intensity=IntensityModel(base=0.85, amplitude=0.4, period=24, phase=0.8),
+            burstiness=0.15,
+            mix_jitter=0.06,
+        ),
+        _profile(
+            name="log_ingest",
+            description="Log/telemetry ingestion: steady medium writes with slow growth",
+            read_fraction=0.2,
+            read_size_weights=[0.1, 0.2, 0.3, 0.2, 0.2, 0.0, 0.0],
+            write_size_weights=[0.05, 0.15, 0.3, 0.3, 0.15, 0.05, 0.0],
+            intensity=IntensityModel(base=0.9, amplitude=0.15, period=24, trend=0.003),
+            burstiness=0.1,
+            mix_jitter=0.05,
+        ),
+        _profile(
+            name="ai_training",
+            description="AI training data pipeline: very large reads, periodic checkpoint writes",
+            read_fraction=0.8,
+            read_size_weights=[0.0, 0.0, 0.0, 0.05, 0.15, 0.3, 0.5],
+            write_size_weights=[0.0, 0.0, 0.0, 0.0, 0.1, 0.3, 0.6],
+            intensity=IntensityModel(base=1.0, amplitude=0.2, period=12),
+            burstiness=0.18,
+            mix_jitter=0.05,
+        ),
+        _profile(
+            name="virtualization",
+            description="Mixed virtualised servers: broad size mix, balanced read/write",
+            read_fraction=0.55,
+            read_size_weights=[0.2, 0.2, 0.2, 0.15, 0.15, 0.05, 0.05],
+            write_size_weights=[0.2, 0.2, 0.2, 0.15, 0.15, 0.05, 0.05],
+            intensity=IntensityModel(base=0.95, amplitude=0.3, period=24, phase=1.5),
+            burstiness=0.16,
+            mix_jitter=0.08,
+        ),
+    ]
+}
+
+
+def profile_names() -> List[str]:
+    """Names of the 12 standard profiles in a stable order."""
+    return list(STANDARD_PROFILES.keys())
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a standard profile by name."""
+    try:
+        return STANDARD_PROFILES[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload profile {name!r}; available: {profile_names()}"
+        ) from exc

@@ -1,0 +1,93 @@
+"""Persistence of workload traces (single traces and bundles) as JSON files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+import numpy as np
+
+from repro.errors import SerializationError, WorkloadError
+from repro.storage.workload import WorkloadTrace
+
+PathLike = Union[str, Path]
+_FORMAT_VERSION = 1
+
+
+def _trace_to_payload(trace: WorkloadTrace) -> Dict[str, object]:
+    arrays = trace.to_arrays()
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": trace.name,
+        "metadata": trace.metadata,
+        "ratios": arrays["ratios"].tolist(),
+        "total_requests": arrays["total_requests"].tolist(),
+    }
+
+
+def _payload_to_trace(payload: Dict[str, object]) -> WorkloadTrace:
+    try:
+        version = int(payload.get("format_version", 0))
+        if version != _FORMAT_VERSION:
+            raise WorkloadError(f"unsupported trace format version {version}")
+        return WorkloadTrace.from_arrays(
+            name=str(payload["name"]),
+            ratios=np.asarray(payload["ratios"], dtype=float),
+            total_requests=np.asarray(payload["total_requests"], dtype=float),
+            metadata=dict(payload.get("metadata", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"malformed trace payload: {exc}") from exc
+
+
+def save_trace(path: PathLike, trace: WorkloadTrace) -> None:
+    """Write one trace to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(_trace_to_payload(trace), fh)
+    except OSError as exc:
+        raise SerializationError(f"could not write trace to {path}: {exc}") from exc
+
+
+def load_trace(path: PathLike) -> WorkloadTrace:
+    """Load one trace written by :func:`save_trace`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"could not read trace from {path}: {exc}") from exc
+    return _payload_to_trace(payload)
+
+
+def save_trace_bundle(path: PathLike, traces: Iterable[WorkloadTrace]) -> None:
+    """Write several traces to one JSON file (e.g. the 50 real traces)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "traces": [_trace_to_payload(trace) for trace in traces],
+    }
+    try:
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+    except OSError as exc:
+        raise SerializationError(f"could not write trace bundle to {path}: {exc}") from exc
+
+
+def load_trace_bundle(path: PathLike) -> List[WorkloadTrace]:
+    """Load a bundle written by :func:`save_trace_bundle`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"could not read trace bundle from {path}: {exc}") from exc
+    try:
+        entries = payload["traces"]
+    except (TypeError, KeyError) as exc:
+        raise WorkloadError(f"malformed trace bundle in {path}") from exc
+    return [_payload_to_trace(entry) for entry in entries]

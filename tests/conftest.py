@@ -1,0 +1,107 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (short traces, few cores, tiny networks)
+so the whole suite stays fast, and session-scoped where construction is
+expensive (the trained tiny pipeline used by the FSM/interpretation
+integration tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.drl.a2c import A2CConfig
+from repro.drl.curriculum import CurriculumConfig
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.fsm.extraction import ExtractionConfig
+from repro.pipeline.learning_aided import LearningAidedPipeline, PipelineConfig
+from repro.qbn.trainer import QBNTrainingConfig
+from repro.storage.simulator import StorageSystemConfig
+from repro.storage.workload import WorkloadInterval, WorkloadTrace
+from repro.storage.iorequest import NUM_IO_TYPES
+from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+from repro.workloads.sampler import RealTraceSampler, SamplerConfig
+
+
+@pytest.fixture(scope="session")
+def system_config() -> StorageSystemConfig:
+    """The default simulated array configuration used across tests."""
+    return StorageSystemConfig()
+
+
+@pytest.fixture(scope="session")
+def generator(system_config) -> StandardWorkloadGenerator:
+    return StandardWorkloadGenerator(system_config, GeneratorConfig(), rng=123)
+
+
+@pytest.fixture(scope="session")
+def standard_suite(generator):
+    """One short standard trace per profile."""
+    return generator.generate_suite(duration=24, rng=7)
+
+
+@pytest.fixture(scope="session")
+def real_traces(standard_suite):
+    """A handful of sampled 'real' traces."""
+    sampler = RealTraceSampler(
+        standard_suite,
+        SamplerConfig(snippets_per_trace=2, min_snippet_length=8, max_snippet_length=12),
+        rng=11,
+    )
+    return sampler.sample_many(4, rng=13)
+
+
+@pytest.fixture
+def short_trace(real_traces) -> WorkloadTrace:
+    return real_traces[0]
+
+
+@pytest.fixture
+def uniform_interval() -> WorkloadInterval:
+    """An interval with a uniform IO mix and a moderate request count."""
+    ratios = np.full(NUM_IO_TYPES, 1.0 / NUM_IO_TYPES)
+    return WorkloadInterval(ratios, 5000.0)
+
+
+@pytest.fixture
+def env(system_config) -> StorageAllocationEnv:
+    return StorageAllocationEnv(
+        system_config, reward_config=RewardConfig(mode="per_step_penalty"), rng=3
+    )
+
+
+@pytest.fixture
+def tiny_policy() -> RecurrentPolicyValueNet:
+    return RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline_config() -> PipelineConfig:
+    """A pipeline configuration small enough for integration tests."""
+    return PipelineConfig(
+        system=StorageSystemConfig(),
+        generator=GeneratorConfig(target_load=1.0),
+        sampler=SamplerConfig(snippets_per_trace=2, min_snippet_length=8, max_snippet_length=12),
+        reward=RewardConfig(mode="per_step_penalty", step_penalty=0.05),
+        policy=PolicyConfig(hidden_size=16),
+        a2c=A2CConfig(learning_rate=1e-3),
+        curriculum=CurriculumConfig(standard_epochs=3, real_epochs=3),
+        qbn=QBNTrainingConfig(epochs=3, observation_latent_dim=8, hidden_latent_dim=8,
+                              batch_size=128),
+        extraction=ExtractionConfig(min_state_visits=2),
+        standard_trace_duration=16,
+        num_real_traces=4,
+        num_eval_traces=2,
+        rollout_traces_for_extraction=2,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline_result(tiny_pipeline_config):
+    """A fully-run (tiny) pipeline shared by FSM/interpretation integration tests."""
+    pipeline = LearningAidedPipeline(tiny_pipeline_config)
+    return pipeline.run()

@@ -1,0 +1,511 @@
+"""Tests for the DRL stack, QBNs, FSM extraction/interpretation and the pipeline.
+
+The heavier integration paths reuse the session-scoped ``tiny_pipeline_result``
+fixture (one tiny end-to-end pipeline run) instead of retraining per test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents import GreedyUtilizationPolicy
+from repro.drl.a2c import A2CConfig, A2CTrainer, TrainingHistory
+from repro.drl.agent import DRLPolicyAgent
+from repro.drl.checkpoints import load_policy, save_policy
+from repro.drl.curriculum import CurriculumConfig, CurriculumTrainer
+from repro.drl.exploration import EpsilonSchedule
+from repro.drl.imitation import BehaviorCloningTrainer, ImitationConfig
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.drl.rollout import RolloutCollector, Trajectory, Transition
+from repro.errors import ConfigurationError, ExtractionError, TrainingError
+from repro.fsm.agent import FSMPolicyAgent
+from repro.fsm.generalize import NearestObservationMatcher
+from repro.fsm.interpretation import (
+    capacity_ratio,
+    fan_in_out_statistics,
+    history_profile,
+    read_intensity_kb,
+    write_intensity_kb,
+)
+from repro.fsm.machine import FiniteStateMachine
+from repro.fsm.minimize import merge_equivalent_states, prune_rare_states
+from repro.fsm.render import fsm_summary_table, fsm_to_dot
+from repro.pipeline.evaluation import compare_agents, comparison_table, evaluate_agent, relative_reduction
+from repro.qbn.autoencoder import QBNConfig, QuantizedBottleneckNetwork
+from repro.qbn.dataset import TransitionDataset
+from repro.qbn.quantize import code_key, codes_to_values, quantization_levels, quantize_ste, values_to_codes
+from repro.qbn.trainer import QBNTrainer, QBNTrainingConfig
+from repro.storage.migration import MigrationAction
+from repro.autograd.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# Policy network and rollouts
+# ----------------------------------------------------------------------
+class TestPolicyNetwork:
+    def test_step_shapes(self, tiny_policy):
+        logits, value, hidden = tiny_policy.step(
+            Tensor(np.zeros(tiny_policy.config.observation_dim)), tiny_policy.initial_state()
+        )
+        assert logits.shape == (7,)
+        assert value.shape == (1,)
+        assert hidden.shape == (16,)
+
+    def test_act_output(self, tiny_policy):
+        out = tiny_policy.act(
+            np.zeros(tiny_policy.config.observation_dim),
+            tiny_policy.initial_state().numpy(),
+            rng=0,
+        )
+        assert 0 <= out.action < 7
+        assert out.probabilities.shape == (7,)
+        assert np.isclose(out.probabilities.sum(), 1.0)
+        assert out.hidden_state.shape == (16,)
+
+    def test_epsilon_one_gives_random_actions(self, tiny_policy):
+        actions = {
+            tiny_policy.act(
+                np.zeros(tiny_policy.config.observation_dim),
+                tiny_policy.initial_state().numpy(),
+                rng=i,
+                epsilon=1.0,
+            ).action
+            for i in range(40)
+        }
+        assert len(actions) > 3
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolicyConfig(hidden_size=0)
+
+    def test_checkpoint_roundtrip(self, tmp_path, tiny_policy):
+        path = tmp_path / "policy.npz"
+        save_policy(path, tiny_policy)
+        loaded = load_policy(path)
+        assert loaded.config == tiny_policy.config
+        obs = np.random.default_rng(0).random(tiny_policy.config.observation_dim)
+        h = tiny_policy.initial_state().numpy()
+        np.testing.assert_allclose(
+            tiny_policy.act(obs, h, rng=0).log_probs, loaded.act(obs, h, rng=0).log_probs
+        )
+
+
+class TestRollout:
+    def test_collect_records_full_episode(self, env, short_trace, tiny_policy):
+        collector = RolloutCollector(env, rng=0)
+        trajectory = collector.collect(tiny_policy, short_trace, greedy=True, episode_seed=0)
+        assert len(trajectory) == trajectory.makespan
+        assert trajectory.observations().shape == (len(trajectory), 35)
+        assert trajectory.hidden_states_before().shape == (len(trajectory), 16)
+        assert trajectory.actions().min() >= 0 and trajectory.actions().max() < 7
+        assert trajectory.transitions[-1].done
+
+    def test_hidden_states_chain(self, env, short_trace, tiny_policy):
+        collector = RolloutCollector(env, rng=0)
+        trajectory = collector.collect(tiny_policy, short_trace, greedy=True, episode_seed=0)
+        np.testing.assert_allclose(
+            trajectory.transitions[0].hidden_after, trajectory.transitions[1].hidden_before
+        )
+
+    def test_discounted_returns(self):
+        trajectory = Trajectory(trace_name="t")
+        for reward in [1.0, 1.0, 1.0]:
+            trajectory.transitions.append(
+                Transition(np.zeros(2), np.zeros(2), np.zeros(2), np.zeros(2), 0, reward, 0.0, False)
+            )
+        np.testing.assert_allclose(
+            trajectory.discounted_returns(0.5), [1.75, 1.5, 1.0]
+        )
+        with pytest.raises(TrainingError):
+            trajectory.discounted_returns(1.5)
+
+
+class TestEpsilonSchedule:
+    def test_constant(self):
+        schedule = EpsilonSchedule(start=0.1, end=0.1, decay_epochs=0)
+        assert schedule.value(0) == schedule.value(1000) == 0.1
+
+    def test_linear_decay(self):
+        schedule = EpsilonSchedule(start=1.0, end=0.0, decay_epochs=10)
+        assert schedule.value(0) == 1.0
+        assert schedule.value(5) == pytest.approx(0.5)
+        assert schedule.value(100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonSchedule(start=1.5)
+
+
+class TestA2CTrainer:
+    def test_training_runs_and_updates_parameters(self, env, real_traces, tiny_policy):
+        before = {k: v.copy() for k, v in tiny_policy.state_dict().items()}
+        trainer = A2CTrainer(tiny_policy, env, A2CConfig(n_step=5), rng=0)
+        history = trainer.train(real_traces[:2], epochs=2, phase="unit")
+        assert len(history) == 2
+        assert all(r.phase == "unit" for r in history.records)
+        after = tiny_policy.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_history_utilities(self):
+        history = TrainingHistory()
+        assert len(history) == 0
+        with pytest.raises(TrainingError):
+            history.final_makespan()
+
+    def test_invalid_inputs(self, env, tiny_policy, real_traces):
+        trainer = A2CTrainer(tiny_policy, env, rng=0)
+        with pytest.raises(TrainingError):
+            trainer.train([], epochs=1)
+        with pytest.raises(TrainingError):
+            trainer.train(real_traces, epochs=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            A2CConfig(gamma=1.5)
+        with pytest.raises(ConfigurationError):
+            A2CConfig(n_step=-1)
+
+    def test_n_step_returns_match_monte_carlo_when_long(self, env, tiny_policy):
+        trainer = A2CTrainer(tiny_policy, env, A2CConfig(gamma=0.9, n_step=100), rng=0)
+        rewards = np.array([1.0, 2.0, 3.0])
+        values = np.zeros(3)
+        returns = trainer._n_step_returns(rewards, values)
+        expected = [1.0 + 0.9 * 2 + 0.81 * 3, 2.0 + 0.9 * 3, 3.0]
+        np.testing.assert_allclose(returns, expected)
+
+    def test_n_step_bootstrap_uses_value(self, env, tiny_policy):
+        trainer = A2CTrainer(tiny_policy, env, A2CConfig(gamma=1.0, n_step=1), rng=0)
+        returns = trainer._n_step_returns(np.array([1.0, 1.0]), np.array([5.0, 7.0]))
+        np.testing.assert_allclose(returns, [1.0 + 7.0, 1.0])
+
+
+class TestCurriculumAndImitation:
+    def test_curriculum_phases_labelled(self, env, standard_suite, real_traces):
+        trainer = CurriculumTrainer(
+            env, policy_config=PolicyConfig(hidden_size=12), a2c_config=A2CConfig(n_step=5), rng=0
+        )
+        policy, history = trainer.train_with_curriculum(
+            list(standard_suite.values())[:2],
+            real_traces[:1],
+            CurriculumConfig(standard_epochs=1, real_epochs=1),
+        )
+        phases = history.phases()
+        assert phases[0] == "pretrain_standard" and phases[-1] == "finetune_real"
+        assert isinstance(policy, RecurrentPolicyValueNet)
+
+    def test_from_scratch(self, env, real_traces):
+        trainer = CurriculumTrainer(
+            env, policy_config=PolicyConfig(hidden_size=12), a2c_config=A2CConfig(n_step=5), rng=0
+        )
+        _, history = trainer.train_from_scratch(real_traces[:1], epochs=2)
+        assert len(history) == 2
+        assert set(history.phases()) == {"from_scratch_real"}
+
+    def test_curriculum_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CurriculumConfig(standard_epochs=0, real_epochs=0)
+
+    def test_behaviour_cloning_learns_teacher_actions(self, env, standard_suite):
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=24), rng=3)
+        trainer = BehaviorCloningTrainer(env, ImitationConfig(epochs=6), rng=0)
+        demos = trainer.collect_demonstrations(
+            GreedyUtilizationPolicy(), list(standard_suite.values())[:3]
+        )
+        assert all(len(d) >= len_trace for d, len_trace in zip(demos, [1, 1, 1]))
+        result = trainer.fit(policy, demos)
+        assert len(result.losses) == 6
+        assert result.losses[-1] < result.losses[0]
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_imitation_validation(self, env):
+        trainer = BehaviorCloningTrainer(env, ImitationConfig(epochs=1), rng=0)
+        with pytest.raises(TrainingError):
+            trainer.collect_demonstrations(GreedyUtilizationPolicy(), [])
+
+
+# ----------------------------------------------------------------------
+# QBN
+# ----------------------------------------------------------------------
+class TestQuantization:
+    def test_levels(self):
+        np.testing.assert_allclose(quantization_levels(3), [-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(quantization_levels(2), [-1.0, 1.0])
+
+    def test_quantize_values(self):
+        x = Tensor(np.array([-0.9, -0.2, 0.1, 0.8]))
+        np.testing.assert_allclose(quantize_ste(x, 3).numpy(), [-1.0, 0.0, 0.0, 1.0])
+
+    def test_straight_through_gradient(self):
+        x = Tensor(np.array([0.3, -0.7]), requires_grad=True)
+        quantize_ste(x, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_codes_roundtrip(self):
+        values = np.array([-1.0, 0.0, 1.0, 1.0])
+        codes = values_to_codes(values, 3)
+        np.testing.assert_array_equal(codes, [0, 1, 2, 2])
+        np.testing.assert_allclose(codes_to_values(codes, 3), values)
+
+    def test_code_key_hashable(self):
+        key = code_key(np.array([0, 1, 2]))
+        assert key == (0, 1, 2)
+        assert hash(key) is not None
+
+    def test_invalid_levels(self):
+        with pytest.raises(ConfigurationError):
+            quantization_levels(1)
+
+
+class TestQBNAutoencoderAndTrainer:
+    def test_latent_is_quantized(self):
+        qbn = QuantizedBottleneckNetwork(QBNConfig(input_dim=6, latent_dim=4, hidden_dim=8), rng=0)
+        latent = qbn.encode(Tensor(np.random.default_rng(0).random((5, 6)))).numpy()
+        assert set(np.unique(latent)) <= {-1.0, 0.0, 1.0}
+
+    def test_reconstruction_shape_and_error(self):
+        qbn = QuantizedBottleneckNetwork(QBNConfig(input_dim=6, latent_dim=4, hidden_dim=8), rng=0)
+        data = np.random.default_rng(0).random((10, 6))
+        assert qbn.reconstruct(data).shape == (10, 6)
+        assert qbn.reconstruction_error(data) >= 0.0
+
+    def test_discrete_code_shape(self):
+        qbn = QuantizedBottleneckNetwork(QBNConfig(input_dim=6, latent_dim=4, hidden_dim=8), rng=0)
+        codes = qbn.discrete_code(np.zeros(6))
+        assert codes.shape == (4,)
+        assert codes.dtype == np.int64
+
+    def test_training_reduces_reconstruction_loss(self, tiny_pipeline_result):
+        losses = tiny_pipeline_result.qbn_result.observation_losses
+        assert losses[-1] <= losses[0]
+
+    def test_dataset_from_trajectories(self, env, short_trace, tiny_policy):
+        collector = RolloutCollector(env, rng=0)
+        trajectories = [collector.collect(tiny_policy, short_trace, greedy=True, episode_seed=0)]
+        dataset = TransitionDataset.from_trajectories(trajectories)
+        assert len(dataset) == len(trajectories[0])
+        assert dataset.observation_dim == 35
+        assert dataset.hidden_dim == 16
+        train, held = dataset.split(0.8, rng=0)
+        assert len(train) + len(held) == len(dataset)
+        episodes = dataset.episodes()
+        assert len(episodes) == 1
+
+    def test_dataset_validation(self):
+        with pytest.raises(ExtractionError):
+            TransitionDataset.from_trajectories([])
+
+    def test_qbn_training_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            QBNTrainingConfig(epochs=0)
+
+
+# ----------------------------------------------------------------------
+# FSM structure, minimisation, generalisation, interpretation
+# ----------------------------------------------------------------------
+def _toy_fsm():
+    fsm = FiniteStateMachine()
+    s0, s1, s2 = (0,), (1,), (2,)
+    fsm.add_state(s0, MigrationAction.NOOP).visit_count = 10
+    fsm.add_state(s1, MigrationAction.NORMAL_TO_KV).visit_count = 5
+    fsm.add_state(s2, MigrationAction.NORMAL_TO_KV).visit_count = 1
+    obs_a, obs_b = (0, 0), (1, 1)
+    fsm.add_transition(s0, obs_a, s0, np.zeros(3))
+    fsm.add_transition(s0, obs_b, s1, np.ones(3))
+    fsm.add_transition(s1, obs_a, s0, np.zeros(3))
+    fsm.add_transition(s2, obs_a, s0, np.zeros(3))
+    fsm.initial_state = s0
+    return fsm
+
+
+class TestFiniteStateMachine:
+    def test_counts(self):
+        fsm = _toy_fsm()
+        assert fsm.num_states == 3
+        assert fsm.num_transitions == 4
+        fsm.validate()
+
+    def test_step_known_and_unknown_observation(self):
+        fsm = _toy_fsm()
+        next_state, action = fsm.step((0,), (1, 1))
+        assert next_state == (1,)
+        assert action is MigrationAction.NORMAL_TO_KV
+        # Unknown observation keeps the current state.
+        same_state, action = fsm.step((0,), (9, 9))
+        assert same_state == (0,)
+
+    def test_step_unknown_state_raises(self):
+        with pytest.raises(ExtractionError):
+            _toy_fsm().step((9,), (0, 0))
+
+    def test_successors(self):
+        successors = _toy_fsm().successors((0,))
+        assert successors[(0,)] == 1 and successors[(1,)] == 1
+
+    def test_relabel_orders_by_visits(self):
+        fsm = _toy_fsm()
+        fsm.relabel()
+        labels = {state.code: state.label for state in fsm.states.values()}
+        assert labels[(0,)] == "S0"
+
+    def test_merge_equivalent_states(self):
+        fsm = _toy_fsm()
+        mapping = merge_equivalent_states(fsm)
+        # s1 and s2 emit the same action and go to the same partition -> merged.
+        assert fsm.num_states == 2
+        assert (2,) in mapping
+        fsm.validate()
+
+    def test_prune_rare_states(self):
+        fsm = _toy_fsm()
+        mapping = prune_rare_states(fsm, min_visits=2)
+        assert (2,) in mapping
+        assert fsm.num_states == 2
+        fsm.validate()
+
+    def test_render_outputs(self):
+        fsm = _toy_fsm()
+        dot = fsm_to_dot(fsm)
+        assert dot.startswith("digraph") and "S0" in dot
+        table = fsm_summary_table(fsm)
+        assert "Noop" in table
+
+
+class TestGeneralization:
+    def test_exact_match_preferred(self):
+        prototypes = {(0, 0): np.zeros(3), (1, 1): np.ones(3)}
+        matcher = NearestObservationMatcher(
+            prototypes, metric="euclidean", encoder=lambda v: (1, 1)
+        )
+        assert matcher.match(np.ones(3)) == (1, 1)
+
+    def test_euclidean_nearest(self):
+        prototypes = {(0,): np.array([0.0, 0.0]), (1,): np.array([1.0, 1.0])}
+        matcher = NearestObservationMatcher(prototypes, metric="euclidean")
+        assert matcher.match(np.array([0.9, 0.8])) == (1,)
+        assert matcher.match(np.array([0.1, 0.0])) == (0,)
+
+    def test_cosine_metric(self):
+        prototypes = {(0,): np.array([1.0, 0.0]), (1,): np.array([0.0, 1.0])}
+        matcher = NearestObservationMatcher(prototypes, metric="cosine")
+        assert matcher.match(np.array([0.9, 0.1])) == (0,)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ExtractionError):
+            NearestObservationMatcher({(0,): np.zeros(2)}, metric="manhattan")
+
+    def test_empty_prototypes(self):
+        with pytest.raises(ExtractionError):
+            NearestObservationMatcher({})
+
+
+class TestExtractionIntegration:
+    def test_extraction_produces_consistent_fsm(self, tiny_pipeline_result):
+        extraction = tiny_pipeline_result.extraction
+        fsm = extraction.fsm
+        assert fsm.num_states >= 1
+        fsm.validate()
+        assert extraction.num_raw_states >= fsm.num_states
+        assert len(extraction.records) == len(tiny_pipeline_result.transition_dataset)
+        # Every record endpoint is a surviving state.
+        for record in extraction.records[:50]:
+            assert record.destination_state in fsm.states
+
+    def test_fsm_agent_runs_episode(self, tiny_pipeline_result, tiny_pipeline_config):
+        from repro.env.environment import StorageAllocationEnv
+
+        env = StorageAllocationEnv(tiny_pipeline_config.system)
+        agent = FSMPolicyAgent.from_extraction(
+            tiny_pipeline_result.extraction,
+            env.observation_encoder,
+            tiny_pipeline_result.qbn_result.observation_qbn,
+        )
+        result = evaluate_agent(agent, tiny_pipeline_result.eval_traces[:1],
+                                system_config=tiny_pipeline_config.system)
+        assert result.makespans[0] >= len(tiny_pipeline_result.eval_traces[0])
+
+    def test_drl_agent_runs_episode(self, tiny_pipeline_result, tiny_pipeline_config):
+        from repro.env.environment import StorageAllocationEnv
+
+        env = StorageAllocationEnv(tiny_pipeline_config.system)
+        agent = DRLPolicyAgent(tiny_pipeline_result.policy, env.observation_encoder)
+        result = evaluate_agent(agent, tiny_pipeline_result.eval_traces[:1],
+                                system_config=tiny_pipeline_config.system)
+        assert result.makespans[0] > 0
+
+    def test_interpretation_bundle(self, tiny_pipeline_result):
+        interpretation = tiny_pipeline_result.interpretation
+        assert len(interpretation) == tiny_pipeline_result.extraction.fsm.num_states
+        for label, info in interpretation.items():
+            assert "fan_in_out" in info and "history" in info
+            assert info["history"].window == tiny_pipeline_result.extraction.fsm.num_states * 0 + 10
+
+    def test_fan_in_out_statistics(self, tiny_pipeline_result):
+        stats = fan_in_out_statistics(
+            tiny_pipeline_result.extraction.fsm, tiny_pipeline_result.extraction.records
+        )
+        assert set(stats) == {
+            s.label for s in tiny_pipeline_result.extraction.fsm.states_by_id()
+        }
+
+    def test_history_profile_unknown_state(self, tiny_pipeline_result):
+        with pytest.raises(ExtractionError):
+            history_profile(
+                tiny_pipeline_result.extraction.fsm,
+                tiny_pipeline_result.extraction.records,
+                "S999",
+            )
+
+    def test_raw_observation_helpers(self, tiny_pipeline_result):
+        raw = tiny_pipeline_result.extraction.records[0].raw_observation
+        assert read_intensity_kb(raw) >= 0.0
+        assert write_intensity_kb(raw) >= 0.0
+        assert capacity_ratio(raw) > 0.0
+
+
+# ----------------------------------------------------------------------
+# Evaluation harness and pipeline
+# ----------------------------------------------------------------------
+class TestEvaluationHarness:
+    def test_compare_agents_matched_seeds(self, system_config, real_traces):
+        from repro.agents import DefaultPolicy, HandcraftedFSMPolicy
+
+        results = compare_agents(
+            [DefaultPolicy(), HandcraftedFSMPolicy()], real_traces[:2],
+            system_config=system_config, episode_seed=0,
+        )
+        assert set(results) == {"default", "handcrafted_fsm"}
+        assert len(results["default"].makespans) == 2
+        table = comparison_table(results)
+        assert "MEAN" in table
+
+    def test_relative_reduction(self, system_config, real_traces):
+        from repro.agents import DefaultPolicy
+
+        a = evaluate_agent(DefaultPolicy(), real_traces[:1], system_config=system_config)
+        assert relative_reduction(a, a) == pytest.approx(0.0)
+
+    def test_evaluate_agent_validation(self, system_config):
+        from repro.agents import DefaultPolicy
+
+        with pytest.raises(ConfigurationError):
+            evaluate_agent(DefaultPolicy(), [], system_config=system_config)
+
+
+class TestPipeline:
+    def test_pipeline_result_contents(self, tiny_pipeline_result, tiny_pipeline_config):
+        assert len(tiny_pipeline_result.standard_traces) == 12
+        assert len(tiny_pipeline_result.real_traces) == tiny_pipeline_config.num_real_traces
+        assert len(tiny_pipeline_result.eval_traces) == tiny_pipeline_config.num_eval_traces
+        assert len(tiny_pipeline_result.training_history) == (
+            tiny_pipeline_config.curriculum.total_epochs
+        )
+        assert tiny_pipeline_result.qbn_result.action_agreement is not None
+
+    def test_pipeline_config_validation(self, tiny_pipeline_config):
+        from dataclasses import replace
+
+        bad = replace(tiny_pipeline_config, num_eval_traces=0)
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+        bad2 = replace(tiny_pipeline_config, bc_teacher="unknown_teacher")
+        with pytest.raises(ConfigurationError):
+            bad2.validate()

@@ -1,0 +1,149 @@
+"""Tests for repro.nn: Module, Linear, activations, Sequential, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import check_gradients
+from repro.autograd.tensor import Tensor
+from repro.errors import SerializationError, ShapeError
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential, Sigmoid, Tanh, Identity
+from repro.nn import init
+
+
+class TestParameterDiscovery:
+    def test_linear_has_weight_and_bias(self):
+        layer = Linear(3, 2, rng=0)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_nested_modules(self):
+        model = Sequential(Linear(4, 3, rng=0), Tanh(), Linear(3, 2, rng=1))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layers.0.weight" in names and "layers.2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 2, rng=0)
+        out = layer(Tensor(np.ones(2))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_flags_propagate(self):
+        model = Sequential(Linear(2, 2, rng=0), ReLU())
+        model.eval()
+        assert not model.training
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Linear(3, 2, rng=0)
+        b = Linear(3, 2, rng=1)
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_missing_key_raises(self):
+        a = Linear(3, 2, rng=0)
+        state = a.state_dict()
+        state.pop("bias")
+        with pytest.raises(SerializationError):
+            Linear(3, 2).load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        a = Linear(3, 2, rng=0)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 3))
+        with pytest.raises(SerializationError):
+            Linear(3, 2).load_state_dict(state)
+
+    def test_copy_from(self):
+        a, b = Linear(2, 2, rng=0), Linear(2, 2, rng=3)
+        b.copy_from(a)
+        np.testing.assert_allclose(a.bias.data, b.bias.data)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=0)
+        assert layer(Tensor(np.zeros(5))).shape == (3,)
+        assert layer(Tensor(np.zeros((7, 5)))).shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_wrong_input_dim_raises(self):
+        with pytest.raises(ShapeError):
+            Linear(4, 2, rng=0)(Tensor(np.zeros(3)))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ShapeError):
+            Linear(0, 2)
+
+    def test_gradients(self):
+        layer = Linear(3, 2, rng=0)
+        x = np.random.default_rng(0).random((4, 3))
+        check_gradients(
+            lambda: (layer(Tensor(x)) ** 2).sum(),
+            dict(layer.named_parameters()),
+        )
+
+    def test_known_affine_result(self):
+        layer = Linear(2, 1, rng=0)
+        layer.weight.data[...] = np.array([[2.0], [3.0]])
+        layer.bias.data[...] = np.array([1.0])
+        out = layer(Tensor([1.0, 1.0]))
+        assert out.numpy()[0] == pytest.approx(6.0)
+
+
+class TestActivationsAndSequential:
+    def test_activation_values(self):
+        x = Tensor([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(Tanh()(x).numpy(), np.tanh(x.data))
+        np.testing.assert_allclose(Sigmoid()(x).numpy(), 1 / (1 + np.exp(-x.data)))
+        np.testing.assert_allclose(ReLU()(x).numpy(), [0.0, 0.0, 2.0])
+        np.testing.assert_allclose(Identity()(x).numpy(), x.data)
+
+    def test_sequential_composition(self):
+        model = Sequential(Linear(3, 4, rng=0), Tanh(), Linear(4, 2, rng=1))
+        out = model(Tensor(np.ones(3)))
+        assert out.shape == (2,)
+        assert len(model) == 3
+        assert isinstance(model[1], Tanh)
+
+    def test_sequential_gradients(self):
+        model = Sequential(Linear(3, 4, rng=0), ReLU(), Linear(4, 1, rng=1))
+        x = np.random.default_rng(1).random((5, 3)) + 0.1
+        check_gradients(
+            lambda: model(Tensor(x)).sum(), dict(model.named_parameters())
+        )
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        w = init.xavier_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+        assert w.shape == (100, 50)
+
+    def test_he_bounds(self):
+        w = init.he_uniform((64, 32), rng=0)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 64))
+
+    def test_orthogonal_is_orthonormal(self):
+        w = init.orthogonal((16, 16), rng=0)
+        np.testing.assert_allclose(w @ w.T, np.eye(16), atol=1e-8)
+
+    def test_orthogonal_rectangular(self):
+        w = init.orthogonal((8, 4), rng=0)
+        np.testing.assert_allclose(w.T @ w, np.eye(4), atol=1e-8)
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0)

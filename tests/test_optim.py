@@ -1,0 +1,151 @@
+"""Tests for optimisers, gradient clipping and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.errors import TrainingError
+from repro.nn import Linear
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, LinearDecayLR, StepLR, clip_grad_norm, global_grad_norm
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def _minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        p = _quadratic_param()
+        assert abs(_minimize(SGD([p], lr=0.1), p)) < 1e-3
+
+    def test_momentum_minimizes(self):
+        p = _quadratic_param()
+        assert abs(_minimize(SGD([p], lr=0.05, momentum=0.9), p)) < 1e-2
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        # Zero loss gradient, only decay applies.
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(TrainingError):
+            SGD([_quadratic_param()], lr=0.1, momentum=1.5)
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(TrainingError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad accumulated: should not crash or change value
+        assert p.data[0] == 5.0
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = _quadratic_param()
+        assert abs(_minimize(Adam([p], lr=0.1), p, steps=300)) < 1e-2
+
+    def test_default_lr_matches_paper(self):
+        assert Adam([_quadratic_param()]).lr == pytest.approx(3e-4)
+
+    def test_invalid_betas(self):
+        with pytest.raises(TrainingError):
+            Adam([_quadratic_param()], betas=(1.0, 0.999))
+
+    def test_step_count_increments(self):
+        p = _quadratic_param()
+        opt = Adam([p], lr=0.01)
+        (p * p).sum().backward()
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((64, 3))
+        true_w = np.array([[1.5], [-2.0], [0.5]])
+        y = x @ true_w
+        layer = Linear(3, 1, rng=1)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestClipping:
+    def test_norm_computation(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        assert global_grad_norm([p]) == pytest.approx(5.0)
+
+    def test_clipping_scales_down(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        returned = clip_grad_norm([p], max_norm=1.0)
+        assert returned == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clipping_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)
+
+    def test_none_grads_ignored(self):
+        assert global_grad_norm([Parameter(np.zeros(3))]) == 0.0
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([_quadratic_param()], lr=1.0)
+
+    def test_constant(self):
+        sched = ConstantLR(self._opt())
+        assert sched.step() == 1.0
+        assert sched.step() == 1.0
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        assert sched.step() == 1.0
+        assert sched.step() == 0.5
+        assert opt.lr == 0.5
+
+    def test_linear_decay(self):
+        opt = self._opt()
+        sched = LinearDecayLR(opt, total_epochs=10, final_fraction=0.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.9)
+        for _ in range(20):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_configs(self):
+        with pytest.raises(TrainingError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(TrainingError):
+            LinearDecayLR(self._opt(), total_epochs=0)

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, new_rng, spawn_rngs
+
+
+class TestNewRng:
+    def test_none_returns_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = new_rng(42).random(5)
+        b = new_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(new_rng(1).random(5), new_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert new_rng(rng) is rng
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(7, 2)
+        assert not np.allclose(children[0].random(8), children[1].random(8))
+
+    def test_deterministic_across_calls(self):
+        a = spawn_rngs(3, 2)[1].random(4)
+        b = spawn_rngs(3, 2)[1].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(5)
+        children = spawn_rngs(rng, 3)
+        assert len(children) == 3
+
+
+class TestRngFactory:
+    def test_same_name_same_stream_across_factories(self):
+        a = RngFactory(9).get("simulator").random(4)
+        b = RngFactory(9).get("simulator").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        factory = RngFactory(9)
+        a = factory.get("simulator").random(4)
+        b = factory.get("agent").random(4)
+        assert not np.allclose(a, b)
+
+    def test_repeated_get_advances_stream(self):
+        factory = RngFactory(9)
+        a = factory.get("x").random(4)
+        b = factory.get("x").random(4)
+        assert not np.allclose(a, b)
+
+    def test_reset_restores_streams(self):
+        factory = RngFactory(9)
+        a = factory.get("x").random(4)
+        factory.reset()
+        b = factory.get("x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_seed_supported(self):
+        factory = RngFactory(None)
+        assert isinstance(factory.get("anything"), np.random.Generator)
+
+    def test_seed_property(self):
+        assert RngFactory(17).seed == 17

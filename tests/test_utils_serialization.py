@@ -1,0 +1,50 @@
+"""Tests for repro.utils.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "data.json"
+        payload = {"a": 1, "b": [1, 2, 3], "c": {"nested": 2.5}}
+        save_json(path, payload)
+        assert load_json(path) == payload
+
+    def test_numpy_values_converted(self, tmp_path):
+        path = tmp_path / "np.json"
+        save_json(path, {"x": np.float64(1.5), "y": np.arange(3), "z": np.int32(7)})
+        loaded = load_json(path)
+        assert loaded == {"x": 1.5, "y": [0, 1, 2], "z": 7}
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_json(tmp_path / "missing.json")
+
+    def test_load_corrupt_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_json(path)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        arrays = {"w": np.random.default_rng(0).random((3, 4)), "b": np.zeros(4)}
+        save_npz(path, arrays)
+        loaded = load_npz(path)
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_allclose(loaded["w"], arrays["w"])
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_npz(tmp_path / "missing.npz")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "x.npz"
+        save_npz(path, {"a": np.ones(2)})
+        assert path.exists()

@@ -1,0 +1,95 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import ExponentialMovingAverage, RunningStat, summarize
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.std == 0.0
+
+    def test_single_value(self):
+        stat = RunningStat()
+        stat.update(3.5)
+        assert stat.mean == pytest.approx(3.5)
+        assert stat.variance == 0.0
+        assert stat.min == 3.5
+        assert stat.max == 3.5
+
+    def test_matches_numpy(self):
+        values = [1.0, 2.5, -3.0, 7.25, 0.0]
+        stat = RunningStat()
+        stat.update_many(values)
+        assert stat.mean == pytest.approx(np.mean(values))
+        assert stat.std == pytest.approx(np.std(values, ddof=1))
+        assert stat.min == min(values)
+        assert stat.max == max(values)
+
+    def test_as_dict_keys(self):
+        stat = RunningStat()
+        stat.update(1.0)
+        assert set(stat.as_dict()) == {"count", "mean", "std", "min", "max"}
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_property_mean_within_bounds(self, values):
+        stat = RunningStat()
+        stat.update_many(values)
+        assert stat.min - 1e-9 <= stat.mean <= stat.max + 1e-9
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=30))
+    def test_property_matches_numpy_mean(self, values):
+        stat = RunningStat()
+        stat.update_many(values)
+        assert math.isclose(stat.mean, float(np.mean(values)), rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestEMA:
+    def test_first_update_sets_value(self):
+        ema = ExponentialMovingAverage(alpha=0.5)
+        assert ema.update(10.0) == 10.0
+
+    def test_smoothing(self):
+        ema = ExponentialMovingAverage(alpha=0.5)
+        ema.update(0.0)
+        assert ema.update(10.0) == pytest.approx(5.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=1.5)
+
+    def test_value_before_update_raises(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage().value
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.min == 1.0
+        assert summary.max == 4.0
+
+    def test_single_value_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert d["count"] == 2.0
+        assert set(d) == {"count", "mean", "std", "min", "median", "max"}

@@ -1,0 +1,52 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [3, 4.0]])
+        assert "a" in text and "bb" in text
+        assert "2.500" in text
+        assert "3" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["longvalue", 1], ["x", 2]])
+        lines = text.splitlines()
+        # Separator and rows share the same width.
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_float_format_override(self):
+        text = format_table(["v"], [[1.23456]], floatfmt=".1f")
+        assert "1.2" in text and "1.2345" not in text
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert "(empty)" in format_series("s", [], [])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1.0])
+
+    def test_contains_values(self):
+        text = format_series("loss", [0, 1, 2], [0.5, 0.25, 0.125])
+        assert "loss" in text and "0:0.500" in text and "[3 pts]" in text
+
+    def test_subsampling_long_series(self):
+        xs = list(range(1000))
+        ys = [float(x) for x in xs]
+        text = format_series("s", xs, ys, max_points=10)
+        assert "[1000 pts]" in text
+        # Only ~10 points are rendered.
+        assert text.count(":") <= 12
