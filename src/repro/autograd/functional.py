@@ -78,6 +78,53 @@ def entropy(probabilities: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor
     return per_row.mean()
 
 
+# ----------------------------------------------------------------------
+# Batched numpy inference kernels (no autograd graph)
+# ----------------------------------------------------------------------
+_GEMM_MIN_COLS = 7
+
+
+def matmul_rows_np(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Row-batched ``x @ w`` whose rows do not depend on the batch size.
+
+    BLAS picks different kernels (gemv, small-matrix paths, blocked gemm)
+    depending on the operand shapes, and those kernels accumulate in
+    different orders — so ``x[i] @ w`` is generally *not* bit-identical
+    to ``(x @ w)[i]``.  Two batch-size-stable routes are used instead:
+
+    * for reasonably wide outputs (N >= ``_GEMM_MIN_COLS``) the gemm
+      kernel computes every row independently once M >= 2, so single
+      rows are padded to two and sliced back — full BLAS speed;
+    * for skinny outputs (N <= 2 observed unstable: BLAS switches to a
+      gemv-like path whose accumulation depends on M) ``einsum`` is used,
+      which reduces the contraction axis in a fixed sequential order for
+      every output element regardless of batch size.
+
+    The rollout equivalence tests (batched collector vs sequential
+    collector, act_batch vs act) are the guard that this kernel split
+    stays bit-stable on the host's BLAS.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    if x.ndim != 2 or w.ndim != 2:
+        raise ShapeError(
+            f"matmul_rows_np expects 2-d operands, got shapes {x.shape} / {w.shape}"
+        )
+    if w.shape[1] < _GEMM_MIN_COLS:
+        return np.einsum("ij,jk->ik", x, w)
+    if x.shape[0] >= 2:
+        return x @ w
+    return (np.concatenate([x, x], axis=0) @ w)[: x.shape[0]]
+
+
+def log_softmax_np(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax on a plain array (batched, row-wise)."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return shifted - log_norm
+
+
 def huber_loss(prediction: Tensor, target: ArrayLike, delta: float = 1.0) -> Tensor:
     """Mean Huber (smooth-L1) loss, robust alternative to MSE for value heads."""
     prediction = _ensure_tensor(prediction)

@@ -236,7 +236,21 @@ class Tensor:
         return Tensor._make(data, (self, other_t), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).__sub__(self)
+        """``other - self`` without materialising ``other`` as a graph node.
+
+        ``other`` is a constant (a scalar or array, never a Tensor —
+        Python would have dispatched to its ``__sub__`` otherwise), so
+        only ``self`` receives a gradient.  This keeps hot-path
+        expressions like ``1.0 - update`` in the GRU cell allocation-free
+        instead of building a ones-like tensor per step.
+        """
+        data = _as_array(other) - self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(data, (self,), backward)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
@@ -286,7 +300,16 @@ class Tensor:
         other_t = other if isinstance(other, Tensor) else Tensor(other)
         if self.ndim < 1 or other_t.ndim < 1:
             raise ShapeError("matmul requires at least 1-d operands")
-        data = self.data @ other_t.data
+        if self.ndim == 1 and other_t.ndim == 2:
+            # Route the vector-matrix case through the batch-size-stable
+            # kernel instead of BLAS gemv, which keeps single-step
+            # inference bit-identical to rows of the batched vectorized
+            # execution path (see functional.matmul_rows_np).
+            from repro.autograd.functional import matmul_rows_np
+
+            data = matmul_rows_np(self.data.reshape(1, -1), other_t.data)[0]
+        else:
+            data = self.data @ other_t.data
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other_t.data

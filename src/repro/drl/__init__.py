@@ -8,9 +8,21 @@ the curriculum-learning procedure of Section 3.2.2 (pre-train on
 standard traces, fine-tune on scarce real traces).
 """
 
-from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet, PolicyStepOutput
+from repro.drl.policy import (
+    BatchedPolicyStepOutput,
+    PolicyConfig,
+    PolicyStepOutput,
+    RecurrentPolicyValueNet,
+)
 from repro.drl.agent import DRLPolicyAgent
-from repro.drl.rollout import Transition, Trajectory, RolloutCollector
+from repro.drl.rollout import (
+    BatchedRolloutCollector,
+    RolloutCollector,
+    Trajectory,
+    TrajectoryBatch,
+    Transition,
+    derive_episode_streams,
+)
 from repro.drl.a2c import A2CConfig, A2CTrainer, EpochRecord, TrainingHistory
 from repro.drl.curriculum import CurriculumConfig, CurriculumTrainer
 from repro.drl.exploration import EpsilonSchedule
@@ -20,10 +32,14 @@ __all__ = [
     "PolicyConfig",
     "RecurrentPolicyValueNet",
     "PolicyStepOutput",
+    "BatchedPolicyStepOutput",
     "DRLPolicyAgent",
     "Transition",
     "Trajectory",
+    "TrajectoryBatch",
     "RolloutCollector",
+    "BatchedRolloutCollector",
+    "derive_episode_streams",
     "A2CConfig",
     "A2CTrainer",
     "EpochRecord",

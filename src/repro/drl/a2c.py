@@ -23,8 +23,14 @@ from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.drl.exploration import EpsilonSchedule
 from repro.drl.policy import RecurrentPolicyValueNet
-from repro.drl.rollout import RolloutCollector, Trajectory
+from repro.drl.rollout import (
+    BatchedRolloutCollector,
+    RolloutCollector,
+    Trajectory,
+    TrajectoryBatch,
+)
 from repro.env.environment import StorageAllocationEnv
+from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import ConfigurationError, TrainingError
 from repro.optim import Adam, clip_grad_norm
 from repro.storage.workload import WorkloadTrace
@@ -44,6 +50,14 @@ class A2CConfig:
     episodes_per_epoch: int = 1
     normalize_advantages: bool = True
     n_step: int = 0
+    # Collect the epoch's episodes in lockstep on the vectorized
+    # environment (one batched GRU forward per interval) instead of one
+    # episode at a time.
+    use_batched_rollouts: bool = True
+    # One padded/masked gradient update over the whole episode batch
+    # instead of one update per trajectory; with episodes_per_epoch=1
+    # (the default) the two are mathematically identical.
+    batched_updates: bool = True
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -136,6 +150,7 @@ class A2CTrainer:
         config: Optional[A2CConfig] = None,
         epsilon_schedule: Optional[EpsilonSchedule] = None,
         rng: SeedLike = None,
+        vector_env: Optional[VectorStorageAllocationEnv] = None,
     ) -> None:
         self.policy = policy
         self.env = env
@@ -145,6 +160,31 @@ class A2CTrainer:
         )
         self._rng = new_rng(rng)
         self.collector = RolloutCollector(env, rng=self._rng)
+        # The vectorized twin of ``env`` used for lockstep collection.
+        # A custom cache model cannot be inferred (each slot needs its
+        # own instance), so demand an explicit vector_env rather than
+        # silently training on different cache dynamics.
+        if vector_env is None and self.config.use_batched_rollouts:
+            default_model = env.system_config.build_cache_model()
+            if env.simulator.cache_model.signature() != default_model.signature():
+                raise ConfigurationError(
+                    "the environment uses a custom cache model; pass "
+                    "vector_env=VectorStorageAllocationEnv(..., "
+                    "cache_model_factory=...) explicitly, or set "
+                    "use_batched_rollouts=False"
+                )
+        if self.config.use_batched_rollouts or vector_env is not None:
+            self.vector_env = vector_env or VectorStorageAllocationEnv(
+                env.system_config, env.reward_config
+            )
+            self.batched_collector: Optional[BatchedRolloutCollector] = (
+                BatchedRolloutCollector(self.vector_env, rng=self._rng)
+            )
+        else:
+            # Sequential-only configuration: do not expose a vector twin
+            # that was never validated against env's cache model.
+            self.vector_env = None
+            self.batched_collector = None
         self.optimizer = Adam(self.policy.parameters(), lr=self.config.learning_rate)
         self._global_epoch = 0
 
@@ -184,11 +224,20 @@ class A2CTrainer:
         return history
 
     def _train_one_epoch(self, trace: WorkloadTrace, epsilon: float) -> Dict[str, float]:
-        trajectories = [
-            self.collector.collect(self.policy, trace, epsilon=epsilon, greedy=False)
-            for _ in range(self.config.episodes_per_epoch)
-        ]
-        losses = [self._update_from_trajectory(trajectory) for trajectory in trajectories]
+        episodes = self.config.episodes_per_epoch
+        if self.config.use_batched_rollouts:
+            trajectories = self.batched_collector.collect_batch(
+                self.policy, [trace] * episodes, epsilon=epsilon, greedy=False
+            )
+        else:
+            trajectories = [
+                self.collector.collect(self.policy, trace, epsilon=epsilon, greedy=False)
+                for _ in range(episodes)
+            ]
+        if self.config.batched_updates:
+            losses = [self._update_from_batch(trajectories)]
+        else:
+            losses = [self._update_from_trajectory(trajectory) for trajectory in trajectories]
 
         def mean(key: str) -> float:
             return float(np.mean([loss[key] for loss in losses]))
@@ -228,6 +277,77 @@ class A2CTrainer:
             returns = self._n_step_returns(trajectory.rewards(), values_np)
         else:
             returns = trajectory.discounted_returns(self.config.gamma)
+
+        advantages = returns - values_np
+        if self.config.normalize_advantages and advantages.size > 1:
+            std = advantages.std()
+            if std > 1e-8:
+                advantages = (advantages - advantages.mean()) / std
+
+        log_probs = F.log_softmax(logits_matrix, axis=-1)
+        chosen_nll = F.nll_of_actions(log_probs, actions)
+        policy_loss = (chosen_nll * Tensor(advantages)).mean()
+        value_loss = F.mse_loss(values_vector, returns)
+        probs = F.softmax(logits_matrix, axis=-1)
+        entropy = F.entropy(probs, axis=-1)
+        loss = (
+            policy_loss
+            + value_loss * self.config.value_coef
+            - entropy * self.config.entropy_coef
+        )
+
+        self.optimizer.zero_grad()
+        loss.backward()
+        grad_norm = clip_grad_norm(self.policy.parameters(), self.config.grad_clip_norm)
+        self.optimizer.step()
+
+        return {
+            "policy_loss": float(policy_loss.item()),
+            "value_loss": float(value_loss.item()),
+            "entropy": float(entropy.item()),
+            "grad_norm": float(grad_norm),
+        }
+
+    def _update_from_batch(self, trajectories: Sequence[Trajectory]) -> Dict[str, float]:
+        """One gradient update over a padded, masked batch of episodes.
+
+        The recurrent forward pass runs once per interval with a
+        ``(B, obs_dim)`` observation batch; padded positions never enter
+        the losses (they are dropped by indexing with the batch's valid
+        positions).  With a single trajectory this computes exactly the
+        same update as :meth:`_update_from_trajectory`.
+        """
+        batch = TrajectoryBatch.from_trajectories(trajectories)
+        horizon, width = batch.max_steps, batch.batch_size
+
+        hidden = self.policy.initial_state(width)
+        logit_steps: List[Tensor] = []
+        value_steps: List[Tensor] = []
+        for t in range(horizon):
+            logits, value, hidden = self.policy.step(Tensor(batch.observations[t]), hidden)
+            logit_steps.append(logits)
+            value_steps.append(value)
+        logits_stack = Tensor.stack(logit_steps, axis=0)                  # (T, B, A)
+        values_stack = Tensor.stack(value_steps, axis=0).reshape(horizon, width)
+
+        time_idx, env_idx = batch.valid_positions()
+        logits_matrix = logits_stack[time_idx, env_idx]                   # (N, A)
+        values_vector = values_stack[time_idx, env_idx]                   # (N,)
+        values_np = values_vector.numpy()
+        actions = batch.actions[time_idx, env_idx]
+
+        if self.config.n_step > 0:
+            padded_values = np.zeros((horizon, width))
+            padded_values[time_idx, env_idx] = values_np
+            padded_returns = np.zeros((horizon, width))
+            for b, trajectory in enumerate(batch.trajectories):
+                steps = len(trajectory)
+                padded_returns[:steps, b] = self._n_step_returns(
+                    trajectory.rewards(), padded_values[:steps, b]
+                )
+            returns = padded_returns[time_idx, env_idx]
+        else:
+            returns = batch.padded_returns(self.config.gamma)[time_idx, env_idx]
 
         advantages = returns - values_np
         if self.config.normalize_advantages and advantages.size > 1:

@@ -8,14 +8,15 @@ scalar state-value estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.functional import log_softmax_np, matmul_rows_np
 from repro.autograd.tensor import Tensor, no_grad
 from repro.env.observation import OBSERVATION_DIM
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ShapeError
 from repro.nn import GRUCell, Linear, Module
 from repro.storage.migration import NUM_ACTIONS
 from repro.utils.rng import SeedLike, new_rng
@@ -40,13 +41,42 @@ class PolicyConfig:
 
 @dataclass(frozen=True)
 class PolicyStepOutput:
-    """Result of a single policy step (inference mode, numpy values)."""
+    """Result of a single policy step (inference mode, numpy values).
+
+    ``valid_action_mask`` records which actions were legal migrations in
+    the environment state the decision was taken in (filled in by the
+    rollout collectors); downstream consumers such as FSM interpretation
+    and evaluation use it to distinguish deliberate no-ops from actions
+    the simulator silently rejected.
+    """
 
     action: int
     log_probs: np.ndarray
     probabilities: np.ndarray
     value: float
     hidden_state: np.ndarray
+    valid_action_mask: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class BatchedPolicyStepOutput:
+    """Result of one lockstep policy step over a batch of B environments.
+
+    Row ``i`` is bit-identical to what :meth:`RecurrentPolicyValueNet.act`
+    would have produced for environment ``i`` alone (given the same
+    per-environment rng stream); finished environments keep their rows
+    computed but consume no randomness.
+    """
+
+    actions: np.ndarray         # (B,) int
+    log_probs: np.ndarray       # (B, num_actions)
+    probabilities: np.ndarray   # (B, num_actions)
+    values: np.ndarray          # (B,)
+    hidden_states: np.ndarray   # (B, hidden_size)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.actions.shape[0])
 
 
 class RecurrentPolicyValueNet(Module):
@@ -63,8 +93,8 @@ class RecurrentPolicyValueNet(Module):
     # ------------------------------------------------------------------
     # Differentiable interface (used by the A2C trainer)
     # ------------------------------------------------------------------
-    def initial_state(self) -> Tensor:
-        return self.gru.initial_state()
+    def initial_state(self, batch_size: Optional[int] = None) -> Tensor:
+        return self.gru.initial_state(batch_size)
 
     def step(self, observation: Tensor, hidden: Tensor) -> Tuple[Tensor, Tensor, Tensor]:
         """One recurrent step: returns (logits, value, next_hidden) as tensors."""
@@ -78,6 +108,33 @@ class RecurrentPolicyValueNet(Module):
     # ------------------------------------------------------------------
     # Inference interface (used by rollouts, evaluation and QBN datasets)
     # ------------------------------------------------------------------
+    def forward_np(
+        self, observations: np.ndarray, hiddens: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched inference forward pass on plain arrays (no autograd graph).
+
+        ``observations`` is (B, obs_dim) and ``hiddens`` is (B, hidden);
+        returns ``(logits (B, A), values (B,), next_hiddens (B, H))``.
+        Every matmul goes through the batch-size-stable kernel, so each
+        row is independent of how many environments share the batch.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        hiddens = np.asarray(hiddens, dtype=np.float64)
+        if observations.ndim != 2 or observations.shape[1] != self.config.observation_dim:
+            raise ShapeError(
+                f"forward_np expects (B, {self.config.observation_dim}) observations, "
+                f"got shape {observations.shape}"
+            )
+        if hiddens.shape != (observations.shape[0], self.config.hidden_size):
+            raise ShapeError(
+                f"forward_np expects ({observations.shape[0]}, {self.config.hidden_size}) "
+                f"hiddens, got shape {hiddens.shape}"
+            )
+        next_hiddens = self.gru.forward_np(observations, hiddens)
+        logits = matmul_rows_np(next_hiddens, self.policy_head.weight.data) + self.policy_head.bias.data
+        values = (matmul_rows_np(next_hiddens, self.value_head.weight.data) + self.value_head.bias.data)[:, 0]
+        return logits, values, next_hiddens
+
     def act(
         self,
         observation: np.ndarray,
@@ -85,6 +142,7 @@ class RecurrentPolicyValueNet(Module):
         rng: SeedLike = None,
         epsilon: float = 0.0,
         greedy: bool = True,
+        valid_action_mask: Optional[np.ndarray] = None,
     ) -> PolicyStepOutput:
         """Run one step without building the autograd graph and pick an action.
 
@@ -100,19 +158,97 @@ class RecurrentPolicyValueNet(Module):
         log_probs_np = log_probs.numpy()
         probs = np.exp(log_probs_np)
         probs = probs / probs.sum()
-        if greedy:
-            action = int(np.argmax(probs))
-        else:
-            action = int(rng.choice(self.config.num_actions, p=probs))
-        if epsilon > 0.0 and rng.random() < epsilon:
-            action = int(rng.integers(self.config.num_actions))
+        action = self._pick_action(probs, rng, epsilon, greedy)
         return PolicyStepOutput(
             action=action,
             log_probs=log_probs_np,
             probabilities=probs,
             value=float(value.numpy().reshape(-1)[0]),
             hidden_state=next_hidden.numpy(),
+            valid_action_mask=valid_action_mask,
         )
+
+    def act_batch(
+        self,
+        observations: np.ndarray,
+        hiddens: np.ndarray,
+        rngs: Union[SeedLike, Sequence[SeedLike], None] = None,
+        epsilon: float = 0.0,
+        greedy: bool = True,
+        active: Optional[np.ndarray] = None,
+    ) -> BatchedPolicyStepOutput:
+        """One lockstep inference step for B environments (one GRU matmul batch).
+
+        ``rngs`` may be a single seed/generator (consumed row by row in
+        index order) or one generator per environment; per-environment
+        generators are what makes a batched rollout reproduce the
+        sequential per-trace rng streams exactly.  Rows where ``active``
+        is False are still computed (the matmul is batched anyway) but
+        consume no randomness and report the no-op action 0.
+        """
+        observations = np.asarray(observations, dtype=np.float64)
+        hiddens = np.asarray(hiddens, dtype=np.float64)
+        batch = observations.shape[0]
+        if isinstance(rngs, (list, tuple)):
+            if len(rngs) != batch:
+                raise ConfigurationError(
+                    f"act_batch got {len(rngs)} rngs for a batch of {batch}"
+                )
+            row_rngs = [new_rng(r) for r in rngs]
+        else:
+            shared = new_rng(rngs)
+            row_rngs = [shared] * batch
+        if active is None:
+            active = np.ones(batch, dtype=bool)
+        else:
+            active = np.asarray(active, dtype=bool)
+
+        logits, values, next_hiddens = self.forward_np(observations, hiddens)
+        log_probs = log_softmax_np(logits, axis=-1)
+        probs = np.exp(log_probs)
+        probs = probs / probs.sum(axis=-1, keepdims=True)
+        actions = np.zeros(batch, dtype=int)
+        # One batched cumulative sum serves every row's inverse-CDF draw
+        # (a row of the axis-1 cumsum is identical to cumsum of the row).
+        cdfs = None if greedy else np.cumsum(probs, axis=-1)
+        for i, is_active in enumerate(active.tolist()):
+            if is_active:
+                actions[i] = self._pick_action(
+                    probs[i], row_rngs[i], epsilon, greedy,
+                    cdf=None if cdfs is None else cdfs[i],
+                )
+        return BatchedPolicyStepOutput(
+            actions=actions,
+            log_probs=log_probs,
+            probabilities=probs,
+            values=values,
+            hidden_states=next_hiddens,
+        )
+
+    def _pick_action(
+        self,
+        probs: np.ndarray,
+        rng: np.random.Generator,
+        epsilon: float,
+        greedy: bool,
+        cdf: Optional[np.ndarray] = None,
+    ) -> int:
+        """Shared action selection so batched and scalar paths draw identically.
+
+        Sampling uses a single uniform draw inverted through the CDF
+        (cheaper than ``rng.choice`` on the hot path, and consuming
+        exactly one draw per decision keeps per-environment rng streams
+        easy to reason about).
+        """
+        if greedy:
+            action = int(np.argmax(probs))
+        else:
+            cdf = np.cumsum(probs) if cdf is None else cdf
+            draw = rng.random() * cdf[-1]
+            action = min(int(np.searchsorted(cdf, draw, side="right")), self.config.num_actions - 1)
+        if epsilon > 0.0 and rng.random() < epsilon:
+            action = int(rng.integers(self.config.num_actions))
+        return action
 
     def hidden_dim(self) -> int:
         return self.config.hidden_size

@@ -5,17 +5,28 @@ The trainer and the QBN/FSM extraction stages both need trajectories of
 3.2.1).  Rollouts are collected in inference mode (no autograd graph);
 the A2C trainer later re-runs the recurrent forward pass over the stored
 observations with gradients enabled.
+
+Two collectors produce the same :class:`Trajectory` objects:
+
+* :class:`RolloutCollector` — the sequential reference implementation,
+  one environment step and one policy call at a time;
+* :class:`BatchedRolloutCollector` — runs N episodes in lockstep on a
+  :class:`~repro.env.vector_env.VectorStorageAllocationEnv` so one
+  batched GRU forward pass serves every environment per interval.  Given
+  the same per-episode rng streams (see :func:`derive_episode_streams`)
+  it is bit-identical to the sequential collector, trace by trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.drl.policy import RecurrentPolicyValueNet
 from repro.env.environment import StorageAllocationEnv
+from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import TrainingError
 from repro.storage.workload import WorkloadTrace
 from repro.utils.rng import SeedLike, new_rng
@@ -23,7 +34,12 @@ from repro.utils.rng import SeedLike, new_rng
 
 @dataclass(frozen=True)
 class Transition:
-    """One step of interaction."""
+    """One step of interaction.
+
+    ``valid_action_mask`` records which actions were legal migrations at
+    decision time (None for trajectories recorded before masks were
+    wired through).
+    """
 
     observation: np.ndarray
     raw_observation: np.ndarray
@@ -33,6 +49,7 @@ class Transition:
     reward: float
     value_estimate: float
     done: bool
+    valid_action_mask: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -49,7 +66,7 @@ class Trajectory:
 
     @property
     def total_reward(self) -> float:
-        return float(sum(t.reward for t in self.transitions))
+        return float(self.rewards().sum())
 
     def observations(self) -> np.ndarray:
         """Normalised observations stacked as (T, obs_dim)."""
@@ -70,21 +87,155 @@ class Trajectory:
     def rewards(self) -> np.ndarray:
         return np.array([t.reward for t in self.transitions], dtype=float)
 
+    def value_estimates(self) -> np.ndarray:
+        return np.array([t.value_estimate for t in self.transitions], dtype=float)
+
+    def valid_action_masks(self) -> Optional[np.ndarray]:
+        """(T, num_actions) legality masks, or None when not recorded."""
+        if not self.transitions or self.transitions[0].valid_action_mask is None:
+            return None
+        return np.stack([t.valid_action_mask for t in self.transitions])
+
     def discounted_returns(self, gamma: float) -> np.ndarray:
-        """Monte-Carlo discounted returns G_t for every step."""
+        """Monte-Carlo discounted returns G_t for every step.
+
+        Computed with a vectorized doubling scan: after the pass with
+        offset ``o`` each entry holds the discounted sum of the next
+        ``2 o`` rewards, so ``log2(T)`` elementwise passes replace the
+        reverse Python loop.
+        """
         if not 0.0 <= gamma <= 1.0:
             raise TrainingError(f"gamma must be in [0, 1], got {gamma}")
-        rewards = self.rewards()
-        returns = np.zeros_like(rewards)
-        running = 0.0
-        for t in range(len(rewards) - 1, -1, -1):
-            running = rewards[t] + gamma * running
-            returns[t] = running
+        returns = self.rewards()
+        offset = 1
+        factor = gamma
+        while offset < returns.size:
+            returns[:-offset] += factor * returns[offset:]
+            offset *= 2
+            factor *= factor
         return returns
 
 
+@dataclass
+class TrajectoryBatch:
+    """Padded, masked view of several trajectories for batched training.
+
+    All arrays are time-major with shape ``(T_max, B, ...)``; ``mask`` is
+    True where a trajectory actually has a step.  Rows beyond a
+    trajectory's length are zero-padded and masked out.
+    """
+
+    trajectories: List[Trajectory]
+    observations: np.ndarray       # (T, B, obs_dim)
+    raw_observations: np.ndarray   # (T, B, obs_dim)
+    hidden_before: np.ndarray      # (T, B, hidden_dim)
+    hidden_after: np.ndarray       # (T, B, hidden_dim)
+    actions: np.ndarray            # (T, B) int
+    rewards: np.ndarray            # (T, B)
+    mask: np.ndarray               # (T, B) bool
+
+    @staticmethod
+    def from_trajectories(trajectories: Sequence[Trajectory]) -> "TrajectoryBatch":
+        trajectories = list(trajectories)
+        if not trajectories:
+            raise TrainingError("cannot build a TrajectoryBatch from no trajectories")
+        if any(len(t) == 0 for t in trajectories):
+            raise TrainingError("cannot build a TrajectoryBatch from an empty trajectory")
+        horizon = max(len(t) for t in trajectories)
+        batch = len(trajectories)
+        first = trajectories[0].transitions[0]
+        obs_dim = first.observation.shape[0]
+        hidden_dim = first.hidden_before.shape[0]
+        observations = np.zeros((horizon, batch, obs_dim))
+        raw_observations = np.zeros((horizon, batch, first.raw_observation.shape[0]))
+        hidden_before = np.zeros((horizon, batch, hidden_dim))
+        hidden_after = np.zeros((horizon, batch, hidden_dim))
+        actions = np.zeros((horizon, batch), dtype=int)
+        rewards = np.zeros((horizon, batch))
+        mask = np.zeros((horizon, batch), dtype=bool)
+        for b, trajectory in enumerate(trajectories):
+            steps = len(trajectory)
+            observations[:steps, b] = trajectory.observations()
+            raw_observations[:steps, b] = trajectory.raw_observations()
+            hidden_before[:steps, b] = trajectory.hidden_states_before()
+            hidden_after[:steps, b] = trajectory.hidden_states_after()
+            actions[:steps, b] = trajectory.actions()
+            rewards[:steps, b] = trajectory.rewards()
+            mask[:steps, b] = True
+        return TrajectoryBatch(
+            trajectories=trajectories,
+            observations=observations,
+            raw_observations=raw_observations,
+            hidden_before=hidden_before,
+            hidden_after=hidden_after,
+            actions=actions,
+            rewards=rewards,
+            mask=mask,
+        )
+
+    @property
+    def max_steps(self) -> int:
+        return int(self.observations.shape[0])
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.observations.shape[1])
+
+    @property
+    def total_steps(self) -> int:
+        return int(self.mask.sum())
+
+    def valid_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(time_idx, batch_idx) arrays of the unpadded positions (time-major)."""
+        return np.nonzero(self.mask)
+
+    def episode_major_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(time_idx, batch_idx) of unpadded positions in episode-major order.
+
+        Rows come out grouped by episode, each episode's steps in time
+        order — the layout :meth:`Trajectory` consumers (e.g. the QBN
+        transition dataset) expect when episodes are concatenated.
+        """
+        batch_idx, time_idx = np.nonzero(self.mask.T)
+        return time_idx, batch_idx
+
+    def padded_returns(self, gamma: float) -> np.ndarray:
+        """(T, B) discounted returns, zero in the padded region."""
+        returns = np.zeros_like(self.rewards)
+        for b, trajectory in enumerate(self.trajectories):
+            returns[: len(trajectory), b] = trajectory.discounted_returns(gamma)
+        return returns
+
+
+def derive_episode_streams(
+    base_seed: int, count: int
+) -> Tuple[List[np.random.Generator], List[np.random.Generator]]:
+    """Per-episode (environment, action) rng stream pairs from one seed.
+
+    Both collectors use this scheme, which is what makes a batched
+    collection reproducible by running the sequential collector with the
+    same streams: episode ``i`` gets ``SeedSequence(base_seed).spawn(count)[i]``,
+    split once more into the simulator stream and the action-sampling
+    stream.
+    """
+    if count <= 0:
+        raise TrainingError(f"count must be positive, got {count}")
+    episode_rngs: List[np.random.Generator] = []
+    action_rngs: List[np.random.Generator] = []
+    for child in np.random.SeedSequence(base_seed).spawn(count):
+        env_seq, action_seq = child.spawn(2)
+        episode_rngs.append(np.random.default_rng(env_seq))
+        action_rngs.append(np.random.default_rng(action_seq))
+    return episode_rngs, action_rngs
+
+
 class RolloutCollector:
-    """Collects trajectories by running a policy in the environment."""
+    """Collects trajectories by running a policy in the environment (sequentially).
+
+    This is the reference implementation the batched collector is tested
+    against; it steps one environment and makes one policy call per
+    interval.
+    """
 
     def __init__(self, env: StorageAllocationEnv, rng: SeedLike = None) -> None:
         self.env = env
@@ -96,20 +247,34 @@ class RolloutCollector:
         trace: WorkloadTrace,
         epsilon: float = 0.0,
         greedy: bool = False,
-        episode_seed: Optional[int] = None,
+        episode_seed: Optional[SeedLike] = None,
+        action_rng: Optional[SeedLike] = None,
     ) -> Trajectory:
-        """Run one episode of ``policy`` on ``trace`` and record every transition."""
+        """Run one episode of ``policy`` on ``trace`` and record every transition.
+
+        ``episode_seed`` seeds the environment's stochastic components and
+        ``action_rng`` the action sampling; passing the streams from
+        :func:`derive_episode_streams` reproduces one slot of a batched
+        collection exactly.
+        """
         observation = self.env.reset(trace, rng=episode_seed)
+        sample_rng = self._rng if action_rng is None else new_rng(action_rng)
         hidden = policy.initial_state().numpy()
         trajectory = Trajectory(trace_name=trace.name)
 
         while True:
             normalized = self.env.observation_encoder.normalize(observation)
             raw = observation.raw()
+            mask = self.env.valid_action_mask()
             output = policy.act(
-                normalized, hidden, rng=self._rng, epsilon=epsilon, greedy=greedy
+                normalized,
+                hidden,
+                rng=sample_rng,
+                epsilon=epsilon,
+                greedy=greedy,
+                valid_action_mask=mask,
             )
-            result = self.env.step(output.action)
+            result = self.env.step(output.action, decision_mask=mask)
             trajectory.transitions.append(
                 Transition(
                     observation=normalized,
@@ -120,6 +285,7 @@ class RolloutCollector:
                     reward=result.reward,
                     value_estimate=output.value,
                     done=result.done,
+                    valid_action_mask=mask,
                 )
             )
             hidden = output.hidden_state
@@ -133,7 +299,7 @@ class RolloutCollector:
     def collect_many(
         self,
         policy: RecurrentPolicyValueNet,
-        traces: List[WorkloadTrace],
+        traces: Sequence[WorkloadTrace],
         epsilon: float = 0.0,
         greedy: bool = False,
     ) -> List[Trajectory]:
@@ -141,3 +307,124 @@ class RolloutCollector:
         return [
             self.collect(policy, trace, epsilon=epsilon, greedy=greedy) for trace in traces
         ]
+
+
+class BatchedRolloutCollector:
+    """Collects N trajectories in lockstep with batched policy inference.
+
+    Each :meth:`collect_batch` call runs one episode per trace on the
+    vectorized environment.  Finished episodes are auto-masked: they stop
+    consuming actions and randomness while the rest of the batch drains.
+    """
+
+    def __init__(self, vector_env: VectorStorageAllocationEnv, rng: SeedLike = None) -> None:
+        self.vector_env = vector_env
+        self._rng = new_rng(rng)
+
+    def collect_batch(
+        self,
+        policy: RecurrentPolicyValueNet,
+        traces: Sequence[WorkloadTrace],
+        epsilon: float = 0.0,
+        greedy: bool = False,
+        episode_rngs: Optional[Sequence[SeedLike]] = None,
+        action_rngs: Optional[Sequence[SeedLike]] = None,
+    ) -> List[Trajectory]:
+        """Run one lockstep episode per trace and return the trajectories.
+
+        When the rng streams are not supplied they are derived from this
+        collector's generator via :func:`derive_episode_streams`; pass
+        the same streams to :meth:`RolloutCollector.collect` to reproduce
+        any single slot bit-for-bit.
+        """
+        traces = list(traces)
+        if not traces:
+            raise TrainingError("collect_batch() needs at least one trace")
+        batch = len(traces)
+        if episode_rngs is None or action_rngs is None:
+            # Derive whichever stream family was not supplied from this
+            # collector's generator so a seeded collector stays
+            # deterministic even with partially supplied streams.
+            base_seed = int(self._rng.integers(np.iinfo(np.int64).max))
+            derived_episode, derived_action = derive_episode_streams(base_seed, batch)
+            episode_rngs = derived_episode if episode_rngs is None else list(episode_rngs)
+            action_rngs = derived_action if action_rngs is None else list(action_rngs)
+        else:
+            episode_rngs = list(episode_rngs)
+            action_rngs = list(action_rngs)
+        if len(episode_rngs) != batch or len(action_rngs) != batch:
+            raise TrainingError(
+                f"need one episode/action rng per trace, got {len(episode_rngs)}/"
+                f"{len(action_rngs)} for {batch} traces"
+            )
+        action_rngs = [new_rng(r) for r in action_rngs]
+
+        venv = self.vector_env
+        normalized = venv.reset(traces, rngs=episode_rngs)
+        raw = venv.raw_observations()
+        hidden = policy.initial_state(batch).numpy()
+        trajectories = [Trajectory(trace_name=trace.name) for trace in traces]
+        active = ~venv.dones
+
+        while active.any():
+            masks = venv.valid_action_masks()
+            output = policy.act_batch(
+                normalized,
+                hidden,
+                rngs=action_rngs,
+                epsilon=epsilon,
+                greedy=greedy,
+                active=active,
+            )
+            result = venv.step(output.actions)
+            for i in np.nonzero(active)[0].tolist():
+                trajectories[i].transitions.append(
+                    Transition(
+                        observation=normalized[i],
+                        raw_observation=raw[i],
+                        hidden_before=hidden[i],
+                        hidden_after=output.hidden_states[i],
+                        action=int(output.actions[i]),
+                        reward=float(result.rewards[i]),
+                        value_estimate=float(output.values[i]),
+                        done=bool(result.dones[i]),
+                        valid_action_mask=masks[i],
+                    )
+                )
+                if result.newly_done[i]:
+                    trajectories[i].makespan = int(result.makespans[i])
+                    trajectories[i].truncated = bool(result.truncated[i])
+            # Freeze hidden states of finished slots; advance the rest.
+            hidden = np.where(active[:, None], output.hidden_states, hidden)
+            normalized = result.observations
+            raw = result.raw_observations
+            active = ~result.dones
+        return trajectories
+
+    def collect_many(
+        self,
+        policy: RecurrentPolicyValueNet,
+        traces: Sequence[WorkloadTrace],
+        epsilon: float = 0.0,
+        greedy: bool = False,
+        batch_size: Optional[int] = None,
+    ) -> List[Trajectory]:
+        """Collect one trajectory per trace, ``batch_size`` episodes at a time.
+
+        Drop-in replacement for :meth:`RolloutCollector.collect_many`;
+        with ``batch_size=None`` the whole trace list runs as one batch.
+        """
+        traces = list(traces)
+        if not traces:
+            return []
+        chunk = len(traces) if batch_size is None else int(batch_size)
+        if chunk <= 0:
+            raise TrainingError(f"batch_size must be positive, got {batch_size}")
+        trajectories: List[Trajectory] = []
+        for start in range(0, len(traces), chunk):
+            trajectories.extend(
+                self.collect_batch(
+                    policy, traces[start : start + chunk], epsilon=epsilon, greedy=greedy
+                )
+            )
+        return trajectories

@@ -11,6 +11,7 @@ from repro.env.observation import Observation, ObservationEncoder
 from repro.env.action import ActionSpace
 from repro.env.reward import RewardConfig, compute_step_reward, compute_terminal_reward
 from repro.env.environment import StorageAllocationEnv, StepResult
+from repro.env.vector_env import VectorStorageAllocationEnv, VectorStepResult
 
 __all__ = [
     "Observation",
@@ -21,4 +22,6 @@ __all__ = [
     "compute_terminal_reward",
     "StorageAllocationEnv",
     "StepResult",
+    "VectorStorageAllocationEnv",
+    "VectorStepResult",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -24,6 +24,12 @@ class ActionSpace:
 
     def __init__(self) -> None:
         self.actions: List[MigrationAction] = all_actions()
+        # Action index -> source level for the six migrations (mask
+        # legality only depends on whether the source can spare a core).
+        self._migration_actions = [a for a in self.actions if not a.is_noop]
+        self._migration_indices = np.array([int(a) for a in self._migration_actions])
+        self._migration_sources = [a.source for a in self._migration_actions]
+        self._source_level_columns = np.array([s.index for s in self._migration_sources])
 
     @property
     def size(self) -> int:
@@ -44,13 +50,38 @@ class ActionSpace:
         return MigrationAction(int(rng.integers(NUM_ACTIONS)))
 
     def valid_mask(self, pool: CorePool) -> np.ndarray:
-        """Boolean mask of actions that are currently legal migrations."""
+        """Boolean mask of actions that are currently legal migrations.
+
+        A migration is legal iff its source level can spare a core (the
+        destination never constrains it), so the mask is assembled from
+        the three per-level counts instead of seven per-action queries —
+        this sits on the rollout hot path.
+        """
         mask = np.ones(NUM_ACTIONS, dtype=bool)
-        for action in self.actions:
-            if action.is_noop:
-                continue
-            mask[int(action)] = pool.can_migrate(action.source, action.destination)
+        spare = {
+            level: pool.count(level) > pool.min_cores_per_level
+            for level in set(self._migration_sources)
+        }
+        mask[self._migration_indices] = [spare[s] for s in self._migration_sources]
         return mask
+
+    def valid_mask_batch(self, pools: Sequence[CorePool]) -> np.ndarray:
+        """(B, num_actions) legality masks for a batch of core pools.
+
+        Row ``b`` equals ``valid_mask(pools[b])``; the per-level spare
+        flags are gathered once and scattered into all six migration
+        columns with a single vectorized assignment.
+        """
+        from repro.storage.levels import LEVELS
+
+        batch = len(pools)
+        spare = np.empty((batch, len(LEVELS)), dtype=bool)
+        for b, pool in enumerate(pools):
+            for j, level in enumerate(LEVELS):
+                spare[b, j] = pool.count(level) > pool.min_cores_per_level
+        masks = np.ones((batch, NUM_ACTIONS), dtype=bool)
+        masks[:, self._migration_indices] = spare[:, self._source_level_columns]
+        return masks
 
     def names(self) -> List[str]:
         return [action.short_name for action in self.actions]

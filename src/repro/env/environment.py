@@ -75,13 +75,25 @@ class StorageAllocationEnv:
         self._last_observation = self._build_observation()
         return self._last_observation
 
-    def step(self, action: MigrationAction | int) -> StepResult:
-        """Apply ``action`` for one interval and observe the outcome."""
+    def step(
+        self,
+        action: MigrationAction | int,
+        decision_mask: Optional[np.ndarray] = None,
+    ) -> StepResult:
+        """Apply ``action`` for one interval and observe the outcome.
+
+        ``decision_mask`` optionally supplies the already-computed
+        legality mask for this decision (callers that consulted
+        :meth:`valid_action_mask` before acting pass it through so it is
+        not computed twice per step).
+        """
         if self._trace is None:
             raise EnvironmentError_("step() called before reset()")
         if self.simulator.is_done:
             raise EnvironmentError_("step() called on a finished episode")
 
+        if decision_mask is None:
+            decision_mask = self.valid_action_mask()
         metrics: IntervalMetrics = self.simulator.step(action)
         done = self.simulator.is_done
         reward = compute_step_reward(self.reward_config, metrics)
@@ -98,6 +110,10 @@ class StorageAllocationEnv:
             "backlog_kb": self.simulator.backlog_kb(),
             "action_name": MigrationAction(int(action)).short_name,
             "truncated": self.simulator.episode_metrics.truncated,
+            # The mask that was in force when the action was chosen, so
+            # downstream consumers (FSM interpretation, evaluation) can
+            # tell deliberate no-ops from silently rejected migrations.
+            "valid_action_mask": decision_mask,
         }
         return StepResult(
             observation=observation,

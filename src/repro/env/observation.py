@@ -101,6 +101,20 @@ class ObservationEncoder:
     def dimension(self) -> int:
         return OBSERVATION_DIM
 
+    def is_equivalent(self, other: "ObservationEncoder") -> bool:
+        """Whether ``other`` normalises observations identically.
+
+        Owns the complete list of constants :meth:`normalize` depends on
+        (keep in sync when normalisation gains parameters) — consumers
+        such as the batched evaluation router use this to decide whether
+        an agent's encoder can be swapped for a default one.
+        """
+        return (
+            self._nominal_requests == other._nominal_requests
+            and self._max_size_kb == other._max_size_kb
+            and self.system_config.total_cores == other.system_config.total_cores
+        )
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -131,6 +145,28 @@ class ObservationEncoder:
         ratios = observation.ratio_vector
         requests = np.array([observation.total_requests / self._nominal_requests])
         return np.concatenate([counts, utils, sizes, ratios, requests]).astype(float)
+
+    def normalize_batch(self, raw_matrix: np.ndarray) -> np.ndarray:
+        """Normalise a (B, 35) matrix of raw observations in one shot.
+
+        Every operation is elementwise (or a per-row slice of one), so row
+        ``i`` of the result is bit-identical to ``normalize`` applied to
+        the corresponding single observation — the property the vectorized
+        environment relies on.
+        """
+        raw_matrix = np.asarray(raw_matrix, dtype=float)
+        if raw_matrix.ndim != 2 or raw_matrix.shape[1] != OBSERVATION_DIM:
+            raise EnvironmentError_(
+                f"raw matrix must have shape (B, {OBSERVATION_DIM}), got {raw_matrix.shape}"
+            )
+        n = NUM_IO_TYPES
+        out = np.empty_like(raw_matrix)
+        out[:, 0:3] = raw_matrix[:, 0:3] / float(self.system_config.total_cores)
+        out[:, 3:6] = np.clip(raw_matrix[:, 3:6], 0.0, 1.0)
+        out[:, 6 : 6 + n] = raw_matrix[:, 6 : 6 + n] / self._max_size_kb
+        out[:, 6 + n : 6 + 2 * n] = raw_matrix[:, 6 + n : 6 + 2 * n]
+        out[:, 6 + 2 * n] = raw_matrix[:, 6 + 2 * n] / self._nominal_requests
+        return out
 
     def normalize_raw(self, raw: np.ndarray) -> np.ndarray:
         """Normalise a raw 35-vector (as produced by :meth:`Observation.raw`)."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.storage.metrics import IntervalMetrics
+from repro.storage.metrics import IntervalMetrics, StepValues
 
 REWARD_MODES = (
     "inverse_makespan",
@@ -66,30 +66,58 @@ class RewardConfig:
 
 
 def compute_step_reward(config: RewardConfig, metrics: IntervalMetrics) -> float:
-    """Per-interval reward component (zero for the paper's terminal mode)."""
+    """Per-interval reward component (zero for the paper's terminal mode).
+
+    Delegates to :func:`compute_step_reward_from_values` (the single
+    implementation of the per-mode arithmetic) after flattening the
+    metrics dicts in their own key order, pairing capacities to backlog
+    keys exactly as the historical dict-based loop did.
+    """
+    values = StepValues(
+        incoming_kb=tuple(metrics.incoming_kb.values()),
+        processed_kb=tuple(metrics.processed_kb.values()),
+        capacity_kb=tuple(
+            metrics.capacity_kb.get(level, 0.0) for level in metrics.backlog_kb
+        ),
+        utilization=tuple(metrics.utilization.values()),
+        backlog_kb=tuple(metrics.backlog_kb.values()),
+    )
+    return compute_step_reward_from_values(config, values)
+
+
+def compute_step_reward_from_values(config: RewardConfig, values: StepValues) -> float:
+    """Per-interval reward from a metrics-free :class:`StepValues` summary.
+
+    This is the single implementation of the per-mode arithmetic; the
+    vectorized environment feeds it the simulator's lightweight per-step
+    summary directly (skipping IntervalMetrics on the rollout hot path)
+    and :func:`compute_step_reward` adapts metrics records onto it.  The
+    accumulation order matches the historical dict-based loops, which is
+    load-bearing for sequential-vs-vectorized reward equivalence.
+    """
     if config.mode == "inverse_makespan":
         return 0.0
     if config.mode == "per_step_penalty":
         return -config.step_penalty
     if config.mode == "backlog_penalty":
-        return -config.step_penalty - config.backlog_scale * metrics.total_backlog_kb
+        return -config.step_penalty - config.backlog_scale * float(sum(values.backlog_kb))
     if config.mode == "backlog_delta":
-        incoming = sum(metrics.incoming_kb.values())
-        processed = sum(metrics.processed_kb.values())
+        incoming = sum(values.incoming_kb)
+        processed = sum(values.processed_kb)
         return -config.step_penalty - config.backlog_scale * (incoming - processed)
     if config.mode == "utilization_balance":
-        utilization = list(metrics.utilization.values())
+        utilization = list(values.utilization)
         imbalance = max(utilization) - min(utilization)
         return -config.step_penalty - config.balance_scale * imbalance
     if config.mode == "bottleneck_pressure":
         # Drain-time estimate of the worst level: backlog measured in
-        # multiples of that level's per-interval capacity.  The makespan is
-        # governed by the bottleneck level, so penalising its drain time
-        # gives immediate credit for placing cores where the backlog is.
+        # multiples of that level's per-interval capacity.  The makespan
+        # is governed by the bottleneck level, so penalising its drain
+        # time gives immediate credit for placing cores where the
+        # backlog is.
         pressure = 0.0
-        for level, backlog in metrics.backlog_kb.items():
-            capacity = max(metrics.capacity_kb.get(level, 0.0), 1e-9)
-            pressure = max(pressure, backlog / capacity)
+        for backlog, capacity in zip(values.backlog_kb, values.capacity_kb):
+            pressure = max(pressure, backlog / max(capacity, 1e-9))
         return -config.step_penalty - config.balance_scale * pressure
     raise ConfigurationError(f"unknown reward mode {config.mode!r}")
 

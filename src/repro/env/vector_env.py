@@ -1,0 +1,301 @@
+"""Vectorized lockstep execution of N independent storage-allocation episodes.
+
+:class:`VectorStorageAllocationEnv` owns one :class:`StorageSimulator` per
+slot and advances all unfinished episodes by one interval per
+:meth:`step` call, exposing batched ``(B, obs_dim)`` observation matrices
+so that one batched policy forward pass can serve every environment.
+
+Design contract (relied on by the batched rollout collector and its
+equivalence tests): slot ``i`` of a vector episode is **bit-identical**
+to a sequential :class:`~repro.env.environment.StorageAllocationEnv`
+episode on the same trace with the same rng stream.  Everything the
+environment computes per slot therefore reuses the sequential
+components (the simulator itself, the reward functions, the observation
+normalisation constants); only the *assembly* is batched, and the
+assembly is restricted to elementwise operations whose rows cannot
+depend on the batch size.
+
+Finished episodes are auto-masked: their slots stop consuming actions
+and randomness, report zero reward, and keep returning their final
+observation row so the batch keeps a stable shape until every episode
+is done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.action import ActionSpace
+from repro.env.observation import OBSERVATION_DIM, ObservationEncoder
+from repro.env.reward import (
+    RewardConfig,
+    compute_step_reward_from_values,
+    compute_terminal_reward,
+)
+from repro.errors import EnvironmentError_
+from repro.storage.cache import CacheModel
+from repro.storage.levels import LEVELS
+from repro.storage.metrics import EpisodeMetrics
+from repro.storage.simulator import StorageSimulator, StorageSystemConfig
+from repro.storage.workload import WorkloadTrace
+from repro.utils.rng import SeedLike
+
+_NUM_LEVELS = len(LEVELS)
+
+
+@dataclass(frozen=True)
+class VectorStepResult:
+    """Outcome of one lockstep interval over the whole batch.
+
+    ``stepped`` marks slots that actually advanced this call (episodes
+    that were already finished are skipped and keep ``rewards`` of 0);
+    ``newly_done`` marks slots that finished during this call.
+    ``observations`` / ``raw_observations`` keep the final row frozen for
+    finished slots.
+    """
+
+    observations: np.ndarray       # (B, obs_dim), normalised
+    raw_observations: np.ndarray   # (B, obs_dim)
+    rewards: np.ndarray            # (B,)
+    dones: np.ndarray              # (B,) bool
+    stepped: np.ndarray            # (B,) bool
+    newly_done: np.ndarray         # (B,) bool
+    makespans: np.ndarray          # (B,) int, meaningful once done
+    truncated: np.ndarray          # (B,) bool
+
+
+class VectorStorageAllocationEnv:
+    """N storage-allocation MDPs advanced in lockstep with batched outputs.
+
+    Typical usage::
+
+        venv = VectorStorageAllocationEnv(config)
+        observations = venv.reset(traces, rngs=seeds)
+        while not venv.all_done:
+            result = venv.step(actions)          # (B,) ints
+            observations = result.observations   # (B, obs_dim)
+    """
+
+    def __init__(
+        self,
+        system_config: Optional[StorageSystemConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        record_metrics: bool = False,
+        cache_model_factory: Optional[Callable[[], CacheModel]] = None,
+    ) -> None:
+        """``record_metrics`` enables per-interval IntervalMetrics records
+        on every slot (needed when consumers inspect episode metrics, as
+        evaluation does); rollout collection leaves it off — rewards are
+        computed from the lightweight per-step summaries either way, with
+        identical values.  ``cache_model_factory`` builds one cache model
+        per slot (each simulator needs its own instance — stateful models
+        must not be shared across lockstep episodes); by default the
+        system config's model is used."""
+        self.system_config = system_config or StorageSystemConfig()
+        self.system_config.validate()
+        self.reward_config = reward_config or RewardConfig()
+        self.record_metrics = bool(record_metrics)
+        self._cache_model_factory = cache_model_factory
+        self.action_space = ActionSpace()
+        self.observation_encoder = ObservationEncoder(self.system_config)
+        self._sims: List[StorageSimulator] = []
+        self._dones = np.zeros(0, dtype=bool)
+        self._makespans = np.zeros(0, dtype=int)
+        self._truncated = np.zeros(0, dtype=bool)
+        self._raw = np.zeros((0, OBSERVATION_DIM))
+        self._normalized = np.zeros((0, OBSERVATION_DIM))
+        self._row_workload_ids: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_envs(self) -> int:
+        return len(self._sims)
+
+    @property
+    def observation_dim(self) -> int:
+        return self.observation_encoder.dimension
+
+    @property
+    def num_actions(self) -> int:
+        return self.action_space.size
+
+    @property
+    def all_done(self) -> bool:
+        return bool(self._dones.all()) if self._dones.size else False
+
+    @property
+    def dones(self) -> np.ndarray:
+        return self._raw_copy(self._dones)
+
+    def simulators(self) -> List[StorageSimulator]:
+        """The underlying per-slot simulators (read-only use intended)."""
+        return list(self._sims)
+
+    def episode_metrics(self) -> List[EpisodeMetrics]:
+        """Per-slot episode metrics (complete once the slot is done)."""
+        return [sim.episode_metrics for sim in self._sims]
+
+    @staticmethod
+    def _raw_copy(array: np.ndarray) -> np.ndarray:
+        return np.array(array)
+
+    # ------------------------------------------------------------------
+    # Episode API
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        traces: Sequence[WorkloadTrace],
+        rngs: Optional[Sequence[SeedLike]] = None,
+    ) -> np.ndarray:
+        """Start one episode per trace; returns (B, obs_dim) normalised obs.
+
+        ``rngs`` optionally supplies one seed/generator per slot; slot
+        ``i`` then reproduces a sequential ``env.reset(trace, rng=rngs[i])``
+        episode exactly.
+        """
+        if not traces:
+            raise EnvironmentError_("reset() needs at least one trace")
+        if rngs is not None and len(rngs) != len(traces):
+            raise EnvironmentError_(
+                f"got {len(rngs)} rng streams for {len(traces)} traces"
+            )
+        batch = len(traces)
+        while len(self._sims) < batch:
+            cache_model = (
+                self._cache_model_factory() if self._cache_model_factory else None
+            )
+            self._sims.append(
+                StorageSimulator(
+                    self.system_config,
+                    cache_model=cache_model,
+                    record_metrics=self.record_metrics,
+                )
+            )
+        del self._sims[batch:]
+
+        self._dones = np.zeros(batch, dtype=bool)
+        self._makespans = np.zeros(batch, dtype=int)
+        self._truncated = np.zeros(batch, dtype=bool)
+        self._raw = np.empty((batch, OBSERVATION_DIM))
+        self._row_workload_ids = [0] * batch
+        for i, trace in enumerate(traces):
+            self._sims[i].reset(trace, rng=None if rngs is None else rngs[i])
+            self._fill_raw_row(i)
+        self._normalized = self.observation_encoder.normalize_batch(self._raw)
+        return self._raw_copy(self._normalized)
+
+    def step(self, actions: Sequence[int]) -> VectorStepResult:
+        """Advance every unfinished episode by one interval under ``actions``."""
+        if not self._sims:
+            raise EnvironmentError_("step() called before reset()")
+        actions = np.asarray(actions)
+        if actions.shape != (self.num_envs,):
+            raise EnvironmentError_(
+                f"expected ({self.num_envs},) actions, got shape {actions.shape}"
+            )
+        batch = self.num_envs
+        rewards = np.zeros(batch)
+        stepped = ~self._dones
+        newly_done = np.zeros(batch, dtype=bool)
+
+        for i in np.nonzero(stepped)[0].tolist():
+            sim = self._sims[i]
+            sim.step(int(actions[i]))
+            reward = compute_step_reward_from_values(
+                self.reward_config, sim.last_step_values
+            )
+            if sim.is_done:
+                reward += compute_terminal_reward(self.reward_config, sim.makespan)
+                self._dones[i] = True
+                newly_done[i] = True
+                self._makespans[i] = sim.makespan
+                self._truncated[i] = sim.episode_metrics.truncated
+            rewards[i] = reward
+            self._fill_raw_row(i)
+
+        raw = self._raw_copy(self._raw)
+        if stepped.all():
+            normalized = self.observation_encoder.normalize_batch(raw)
+        else:
+            # Finished slots keep their frozen rows; only refresh the rest.
+            normalized = self._raw_copy(self._normalized)
+            moved = stepped
+            normalized[moved] = self.observation_encoder.normalize_batch(raw[moved])
+        self._normalized = normalized
+
+        return VectorStepResult(
+            observations=self._raw_copy(normalized),
+            raw_observations=raw,
+            rewards=rewards,
+            dones=self._raw_copy(self._dones),
+            stepped=stepped,
+            newly_done=newly_done,
+            makespans=self._raw_copy(self._makespans),
+            truncated=self._raw_copy(self._truncated),
+        )
+
+    # ------------------------------------------------------------------
+    # Batched views
+    # ------------------------------------------------------------------
+    def observations(self) -> np.ndarray:
+        """Current (B, obs_dim) normalised observation matrix."""
+        self._require_reset()
+        return self._raw_copy(self._normalized)
+
+    def raw_observations(self) -> np.ndarray:
+        """Current (B, obs_dim) raw observation matrix."""
+        self._require_reset()
+        return self._raw_copy(self._raw)
+
+    def valid_action_masks(self) -> np.ndarray:
+        """(B, num_actions) legality masks for the next decision.
+
+        Finished slots report a no-op-only mask: they accept no further
+        migrations, and the no-op keeps batched action vectors well
+        formed without consuming anything.
+        """
+        self._require_reset()
+        masks = self.action_space.valid_mask_batch([sim.core_pool for sim in self._sims])
+        for i in np.nonzero(self._dones)[0]:
+            masks[i] = False
+            masks[i, 0] = True
+        return masks
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_reset(self) -> None:
+        if not self._sims:
+            raise EnvironmentError_("vector environment has not been reset")
+
+    def _fill_raw_row(self, index: int) -> None:
+        """Assemble one raw observation row exactly as ``Observation.raw``.
+
+        The row is [core counts (3), utilisation (3), S vector (14),
+        I vector (14), Q (1)] — the same float values the sequential
+        environment would produce, written straight into the batch
+        matrix.
+        """
+        sim = self._sims[index]
+        row = self._raw[index]
+        pool = sim.core_pool
+        utilization = sim.last_utilization
+        for j, level in enumerate(LEVELS):
+            row[j] = float(pool.count(level))
+            row[_NUM_LEVELS + j] = float(utilization[level])
+        workload = sim.current_workload()
+        # Workload intervals are immutable, so the S/I/Q span only needs
+        # rewriting when the slot moved on to a different interval object
+        # (the drain phase shares one empty-interval singleton).
+        if id(workload) != self._row_workload_ids[index]:
+            self._row_workload_ids[index] = id(workload)
+            n = 2 * _NUM_LEVELS
+            size_vector = workload.size_vector()
+            row[n : n + size_vector.size] = size_vector
+            row[n + size_vector.size : n + 2 * size_vector.size] = workload.ratios
+            row[-1] = float(workload.total_requests)

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.autograd.functional import matmul_rows_np
 from repro.autograd.tensor import Tensor
 from repro.errors import ShapeError
 from repro.nn import init
@@ -77,8 +78,29 @@ class GRUCell(Module):
         reset = (x @ self.w_xr + h @ self.w_hr + self.b_r).sigmoid()
         update = (x @ self.w_xz + h @ self.w_hz + self.b_z).sigmoid()
         candidate = (x @ self.w_xn + reset * (h @ self.w_hn) + self.b_n).tanh()
-        one = Tensor(np.ones_like(update.data))
-        return (one - update) * candidate + update * h
+        return (1.0 - update) * candidate + update * h
+
+    def forward_np(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Inference-only batched step on plain arrays (no autograd graph).
+
+        ``x`` is (B, input_size) and ``h`` is (B, hidden_size); returns the
+        next hidden state (B, hidden_size).  All matmuls go through the
+        batch-size-stable kernel, so row ``i`` of the result is
+        bit-identical no matter how many other sequences share the batch —
+        the invariant that makes vectorized rollouts reproduce sequential
+        ones exactly.
+        """
+        if x.ndim != 2 or h.ndim != 2:
+            raise ShapeError(
+                f"forward_np expects (B, D) input and (B, H) hidden, got {x.shape} / {h.shape}"
+            )
+        pre_r = matmul_rows_np(x, self.w_xr.data) + matmul_rows_np(h, self.w_hr.data) + self.b_r.data
+        pre_z = matmul_rows_np(x, self.w_xz.data) + matmul_rows_np(h, self.w_hz.data) + self.b_z.data
+        reset = 1.0 / (1.0 + np.exp(-pre_r))
+        update = 1.0 / (1.0 + np.exp(-pre_z))
+        pre_n = matmul_rows_np(x, self.w_xn.data) + reset * matmul_rows_np(h, self.w_hn.data) + self.b_n.data
+        candidate = np.tanh(pre_n)
+        return (1.0 - update) * candidate + update * h
 
 
 class GRU(Module):

@@ -23,8 +23,9 @@ from repro.drl.a2c import A2CConfig, TrainingHistory
 from repro.drl.agent import DRLPolicyAgent
 from repro.drl.curriculum import CurriculumConfig, CurriculumTrainer
 from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
-from repro.drl.rollout import RolloutCollector
+from repro.drl.rollout import BatchedRolloutCollector
 from repro.env.environment import StorageAllocationEnv
+from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.env.reward import RewardConfig
 from repro.errors import ConfigurationError
 from repro.fsm.agent import FSMPolicyAgent
@@ -202,10 +203,12 @@ class LearningAidedPipeline:
             list(standard_traces.values()), train_real, self.config.curriculum, policy=policy
         )
 
-        # Collect the transition dataset by running the trained policy greedily.
-        collector = RolloutCollector(self.make_env(), rng=self._rngs.get("rollout"))
+        # Collect the transition dataset by running the trained policy
+        # greedily — all rollout traces in one vectorized lockstep batch.
+        vector_env = VectorStorageAllocationEnv(self.config.system, self.config.reward)
+        collector = BatchedRolloutCollector(vector_env, rng=self._rngs.get("rollout"))
         rollout_traces = train_real[: self.config.rollout_traces_for_extraction]
-        trajectories = collector.collect_many(policy, list(rollout_traces), greedy=True)
+        trajectories = collector.collect_batch(policy, list(rollout_traces), greedy=True)
         dataset = TransitionDataset.from_trajectories(trajectories)
 
         qbn_trainer = QBNTrainer(self.config.qbn, rng=self._rngs.get("qbn"))

@@ -25,6 +25,16 @@ class CacheModel(ABC):
     def reset(self) -> None:
         """Clear any internal state between episodes (default: stateless)."""
 
+    def signature(self) -> tuple:
+        """Value-based identity of the model's dynamics.
+
+        Two models with equal signatures produce the same miss rates;
+        used to decide whether a vectorized environment twin can be
+        built with the default model.  Subclasses must include every
+        parameter that affects :meth:`miss_rate`.
+        """
+        return (type(self).__name__,)
+
 
 class ConstantCacheModel(CacheModel):
     """Fixed miss probability ``C`` — the model used by the paper."""
@@ -36,6 +46,9 @@ class ConstantCacheModel(CacheModel):
 
     def miss_rate(self, interval: WorkloadInterval) -> float:
         return self._miss_rate
+
+    def signature(self) -> tuple:
+        return (type(self).__name__, self._miss_rate)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ConstantCacheModel(miss_rate={self._miss_rate})"
@@ -83,6 +96,15 @@ class WorkingSetCacheModel(CacheModel):
         )
         pressure = min(1.0, self._working_set_kb / self.cache_capacity_kb)
         return self.base_miss_rate + (self.max_miss_rate - self.base_miss_rate) * pressure
+
+    def signature(self) -> tuple:
+        return (
+            type(self).__name__,
+            self.cache_capacity_kb,
+            self.base_miss_rate,
+            self.max_miss_rate,
+            self.decay,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -54,6 +54,22 @@ class CorePool:
     cores: List[Core] = field(default_factory=list)
     min_cores_per_level: int = 1
 
+    def __post_init__(self) -> None:
+        # Residency counts and the number of penalty-paying cores are
+        # maintained incrementally (updated by migrate_one and tick, the
+        # only pool-level mutations) — these queries sit on the
+        # simulator's per-interval hot path.
+        self._counts: Dict[Level, int] = {
+            level: sum(1 for core in self.cores if core.level is level)
+            for level in LEVELS
+        }
+        self._penalized_total = sum(1 for core in self.cores if core.is_penalized)
+
+    @property
+    def penalized_total(self) -> int:
+        """Number of cores currently paying a migration penalty."""
+        return self._penalized_total
+
     @staticmethod
     def create(
         allocation: Dict[Level, int] | Dict[str, int],
@@ -90,10 +106,10 @@ class CorePool:
         return [core for core in self.cores if core.level is level]
 
     def count(self, level: Level) -> int:
-        return sum(1 for core in self.cores if core.level is level)
+        return self._counts[level]
 
     def counts(self) -> Dict[Level, int]:
-        return {level: self.count(level) for level in LEVELS}
+        return dict(self._counts)
 
     def counts_vector(self) -> List[int]:
         """Counts in canonical order (NORMAL, KV, RV)."""
@@ -130,13 +146,23 @@ class CorePool:
         # repeated migrations do not stack on the same core.
         candidates.sort(key=lambda core: (core.is_penalized, core.core_id))
         core = candidates[0]
+        was_penalized = core.is_penalized
         core.migrate(destination, cooldown_intervals)
+        self._counts[source] -= 1
+        self._counts[destination] += 1
+        if not was_penalized and core.is_penalized:
+            self._penalized_total += 1
         return core
 
     def tick(self) -> None:
         """Advance all cores by one interval (decays migration penalties)."""
+        if self._penalized_total == 0:
+            return
         for core in self.cores:
-            core.tick()
+            if core.migration_cooldown > 0:
+                core.migration_cooldown -= 1
+                if core.migration_cooldown == 0:
+                    self._penalized_total -= 1
 
     def clone(self) -> "CorePool":
         """Deep copy of the pool (used by environment reset snapshots)."""

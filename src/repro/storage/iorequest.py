@@ -78,8 +78,7 @@ class IORequestType:
 _STANDARD_SIZES_KB: Tuple[float, ...] = (4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
-def standard_io_types() -> List[IORequestType]:
-    """Return the canonical 14 IO request types (7 sizes x read/write)."""
+def _build_standard_io_types() -> Tuple[IORequestType, ...]:
     types: List[IORequestType] = []
     index = 0
     for size in _STANDARD_SIZES_KB:
@@ -88,7 +87,20 @@ def standard_io_types() -> List[IORequestType]:
     for size in _STANDARD_SIZES_KB:
         types.append(IORequestType(index=index, size_kb=size, kind=IOKind.WRITE))
         index += 1
-    return types
+    return tuple(types)
+
+
+_STANDARD_IO_TYPES: Tuple[IORequestType, ...] = _build_standard_io_types()
+
+
+def standard_io_types() -> List[IORequestType]:
+    """Return the canonical 14 IO request types (7 sizes x read/write).
+
+    The types are immutable, so the canonical tuple is built once at
+    import time; this function sits on the simulator's per-interval hot
+    path and only wraps it in a fresh list.
+    """
+    return list(_STANDARD_IO_TYPES)
 
 
 NUM_IO_TYPES = len(_STANDARD_SIZES_KB) * 2

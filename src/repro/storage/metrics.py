@@ -3,12 +3,28 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, NamedTuple, Tuple
 
 import numpy as np
 
 from repro.storage.levels import LEVELS, Level
 from repro.storage.migration import MigrationAction
+
+
+class StepValues(NamedTuple):
+    """Lightweight per-interval summary, values in LEVELS order.
+
+    Carries exactly the quantities the reward functions consume so that
+    metrics-free execution (the vectorized environment's default) can
+    compute identical rewards without materialising an
+    :class:`IntervalMetrics` record per interval.
+    """
+
+    incoming_kb: Tuple[float, ...]
+    processed_kb: Tuple[float, ...]
+    capacity_kb: Tuple[float, ...]
+    utilization: Tuple[float, ...]
+    backlog_kb: Tuple[float, ...]
 
 
 @dataclass(frozen=True)

@@ -59,9 +59,19 @@ ACTION_NOOP = MigrationAction.NOOP
 NUM_ACTIONS = len(MigrationAction)
 
 
+_ACTIONS_BY_INDEX: Tuple[MigrationAction, ...] = tuple(MigrationAction)
+
+
 def all_actions() -> List[MigrationAction]:
     """All seven actions in canonical order."""
     return list(MigrationAction)
+
+
+def action_from_index(value: int | MigrationAction) -> MigrationAction:
+    """Index -> action lookup avoiding the enum-call overhead (hot path)."""
+    if type(value) is int and 0 <= value < NUM_ACTIONS:
+        return _ACTIONS_BY_INDEX[value]
+    return MigrationAction(int(value))
 
 
 def action_name(action: int | MigrationAction) -> str:

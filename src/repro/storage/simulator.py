@@ -28,7 +28,7 @@ redistribute work away from slow (penalised or idle) cores.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,8 +37,8 @@ from repro.storage.cache import CacheModel, ConstantCacheModel
 from repro.storage.cores import CorePool
 from repro.storage.dispatcher import get_dispatcher
 from repro.storage.levels import LEVELS, Level
-from repro.storage.metrics import EpisodeMetrics, IntervalMetrics
-from repro.storage.migration import MigrationAction
+from repro.storage.metrics import EpisodeMetrics, IntervalMetrics, StepValues
+from repro.storage.migration import MigrationAction, action_from_index
 from repro.storage.workload import WorkloadInterval, WorkloadTrace
 from repro.utils.rng import SeedLike, new_rng
 
@@ -124,18 +124,27 @@ class StorageSimulator:
         config: Optional[StorageSystemConfig] = None,
         cache_model: Optional[CacheModel] = None,
         rng: SeedLike = None,
+        record_metrics: bool = True,
     ) -> None:
         self.config = config or StorageSystemConfig()
         self.config.validate()
         self.cache_model = cache_model or self.config.build_cache_model()
         self._dispatch = get_dispatcher(self.config.dispatcher)
+        self._dispatch_is_polling = self.config.dispatcher == "polling"
+        self._record_metrics = bool(record_metrics)
+        self._capacity_cache: Dict[int, Tuple[np.ndarray, float]] = {}
         self._rng = new_rng(rng)
         self._trace: Optional[WorkloadTrace] = None
         self._pool: Optional[CorePool] = None
-        self._backlog: Dict[Level, float] = {level: 0.0 for level in LEVELS}
+        # Per-level state kept in LEVELS order (plain lists — enum-keyed
+        # dict lookups are measurable on the per-interval hot path and
+        # are only materialised for the metrics records).
+        self._backlog_values: List[float] = [0.0 for _ in LEVELS]
         self._interval_index = 0
         self._last_utilization: Dict[Level, float] = {level: 0.0 for level in LEVELS}
         self._episode: Optional[EpisodeMetrics] = None
+        self._last_step_values: Optional[StepValues] = None
+        self._steps_taken = 0
         self._max_intervals = 0
 
     # ------------------------------------------------------------------
@@ -151,10 +160,12 @@ class StorageSimulator:
         self._pool = CorePool.create(
             self.config.initial_allocation, self.config.min_cores_per_level
         )
-        self._backlog = {level: 0.0 for level in LEVELS}
+        self._backlog_values = [0.0 for _ in LEVELS]
         self._interval_index = 0
         self._last_utilization = {level: 0.0 for level in LEVELS}
         self._episode = EpisodeMetrics(trace_name=trace.name)
+        self._last_step_values = None
+        self._steps_taken = 0
         self.cache_model.reset()
         self._max_intervals = int(
             self.config.max_intervals_factor * len(trace) + self.config.max_intervals_slack
@@ -172,7 +183,7 @@ class StorageSimulator:
         if self._episode.truncated:
             return True
         injected_all = self._interval_index >= len(self._trace)
-        drained = all(backlog <= 1e-9 for backlog in self._backlog.values())
+        drained = all(backlog <= 1e-9 for backlog in self._backlog_values)
         return injected_all and drained
 
     @property
@@ -193,13 +204,30 @@ class StorageSimulator:
     def makespan(self) -> int:
         """Makespan so far (final value once :attr:`is_done`)."""
         self._require_episode()
-        return self._episode.makespan  # type: ignore[union-attr]
+        return self._steps_taken
+
+    @property
+    def last_step_values(self) -> StepValues:
+        """Per-level summary of the most recent interval (LEVELS order)."""
+        if self._last_step_values is None:
+            raise SimulationError("no interval has been simulated yet")
+        return self._last_step_values
+
+    @property
+    def records_metrics(self) -> bool:
+        """Whether step() materialises IntervalMetrics records."""
+        return self._record_metrics
 
     def backlog_kb(self) -> Dict[Level, float]:
-        return dict(self._backlog)
+        return dict(zip(LEVELS, self._backlog_values))
 
     def utilization(self) -> Dict[Level, float]:
         return dict(self._last_utilization)
+
+    @property
+    def last_utilization(self) -> Dict[Level, float]:
+        """Previous interval's utilisation (internal dict — do not mutate)."""
+        return self._last_utilization
 
     def core_counts(self) -> Dict[Level, int]:
         self._require_episode()
@@ -223,28 +251,25 @@ class StorageSimulator:
     def demand_for(self, interval: WorkloadInterval) -> Dict[Level, float]:
         """Kilobytes of work each level receives from ``interval``."""
         miss_rate = self.cache_model.miss_rate(interval)
-        read_kb = interval.read_kb()
-        write_kb = interval.write_kb()
-        missed_read_kb = read_kb * miss_rate
-        return {
-            Level.NORMAL: read_kb + write_kb,
-            Level.KV: write_kb * self.config.kv_write_factor
-            + missed_read_kb * self.config.kv_read_miss_factor,
-            Level.RV: write_kb * self.config.rv_write_factor
-            + missed_read_kb * self.config.rv_read_miss_factor,
-        }
+        return self._incoming_with_miss_rate(interval, miss_rate)
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
-    def step(self, action: MigrationAction | int) -> IntervalMetrics:
-        """Advance the simulation by one time interval under ``action``."""
+    def step(self, action: MigrationAction | int) -> Optional[IntervalMetrics]:
+        """Advance the simulation by one time interval under ``action``.
+
+        Returns the interval's metrics record, or None when the simulator
+        was created with ``record_metrics=False`` (metrics-free execution
+        for high-throughput rollout collection — the per-level summary is
+        still available via :attr:`last_step_values`).
+        """
         self._require_episode()
         assert self._trace is not None and self._pool is not None and self._episode is not None
         if self.is_done:
             raise SimulationError("step() called on a finished episode")
 
-        action = MigrationAction(int(action))
+        action = action_from_index(action)
 
         # 1. Apply the migration decided for this interval.  The migrated
         #    core starts working at its new level immediately but pays the
@@ -259,70 +284,110 @@ class StorageSimulator:
             migration_applied = migrated is not None
 
         # 2. Inject this interval's workload (if the trace still has one).
+        backlog = self._backlog_values
         if self._interval_index < len(self._trace):
             workload = self._trace[self._interval_index]
             cache_miss_rate = self.cache_model.miss_rate(workload)
-            incoming = self._incoming_with_miss_rate(workload, cache_miss_rate)
+            incoming_values = self._incoming_values(workload, cache_miss_rate)
+            for index in range(len(LEVELS)):
+                backlog[index] += incoming_values[index]
         else:
             cache_miss_rate = 0.0
-            incoming = {level: 0.0 for level in LEVELS}
-        for level in LEVELS:
-            self._backlog[level] += incoming[level]
+            incoming_values = (0.0,) * len(LEVELS)
 
         # 3. Compute each level's per-core effective capacity and process.
-        utilization: Dict[Level, float] = {}
-        processed: Dict[Level, float] = {}
-        capacity: Dict[Level, float] = {}
-        idle_counts: Dict[Level, int] = {}
-        for level in LEVELS:
+        utilization_values: List[float] = []
+        processed_values: List[float] = []
+        capacity_values: List[float] = []
+        idle_values: List[int] = []
+        no_penalty = self._pool.penalized_total == 0
+        for index, level in enumerate(LEVELS):
             cores = self._pool.cores_at(level)
             idle = self._sample_idle_cores(len(cores))
-            idle_counts[level] = idle
-            capacities = self._core_capacities(cores, idle)
-            result = self._dispatch(self._backlog[level], capacities)
-            processed[level] = result.total_processed
-            capacity[level] = result.total_capacity
-            utilization[level] = result.utilization
-            self._backlog[level] = max(0.0, self._backlog[level] - result.total_processed)
+            idle_values.append(idle)
+            if idle == 0 and no_penalty:
+                # Common case: full-speed cores, none idled — serve the
+                # cached per-count capacity array and its cached sum.
+                capacities, total_capacity = self._uniform_capacities(len(cores))
+            else:
+                capacities = self._core_capacities(cores, idle)
+                total_capacity = float(capacities.sum())
+            pending = backlog[index]
+            if self._dispatch_is_polling and capacities.size:
+                # Inlined polling dispatch: an even split processed up to
+                # each core's capacity.  Identical arithmetic to
+                # ``polling_dispatch`` (np.minimum broadcasts the same
+                # per-core assignment) without the per-call result object;
+                # this loop runs three times per simulated interval.
+                processed_kb = np.minimum(pending / capacities.size, capacities)
+            else:
+                result = self._dispatch(pending, capacities)
+                processed_kb = result.processed_kb
+            # Reduce once here instead of through the DispatchResult
+            # properties (which each re-sum the arrays).
+            total_processed = float(processed_kb.sum())
+            processed_values.append(total_processed)
+            capacity_values.append(total_capacity)
+            utilization_values.append(
+                min(1.0, total_processed / total_capacity) if total_capacity > 0 else 0.0
+            )
+            backlog[index] = max(0.0, pending - total_processed)
 
+        utilization = dict(zip(LEVELS, utilization_values))
         self._last_utilization = utilization
 
         # 4. Advance time and decay migration penalties.
         self._pool.tick()
         self._interval_index += 1
-
-        metrics = IntervalMetrics(
-            interval=self._interval_index - 1,
-            action=action,
-            migration_applied=migration_applied,
-            core_counts=self._pool.counts(),
-            utilization=utilization,
-            incoming_kb=incoming,
-            processed_kb=processed,
-            backlog_kb=dict(self._backlog),
-            capacity_kb=capacity,
-            cache_miss_rate=cache_miss_rate,
-            idle_cores=idle_counts,
+        self._steps_taken += 1
+        self._last_step_values = StepValues(
+            incoming_kb=tuple(incoming_values),
+            processed_kb=tuple(processed_values),
+            capacity_kb=tuple(capacity_values),
+            utilization=tuple(utilization_values),
+            backlog_kb=tuple(backlog),
         )
-        self._episode.record(metrics)
 
-        if self._episode.makespan >= self._max_intervals and not self.is_done:
+        metrics: Optional[IntervalMetrics] = None
+        if self._record_metrics:
+            metrics = IntervalMetrics(
+                interval=self._interval_index - 1,
+                action=action,
+                migration_applied=migration_applied,
+                core_counts=self._pool.counts(),
+                utilization=utilization,
+                incoming_kb=dict(zip(LEVELS, incoming_values)),
+                processed_kb=dict(zip(LEVELS, processed_values)),
+                backlog_kb=dict(zip(LEVELS, backlog)),
+                capacity_kb=dict(zip(LEVELS, capacity_values)),
+                cache_miss_rate=cache_miss_rate,
+                idle_cores=dict(zip(LEVELS, idle_values)),
+            )
+            self._episode.record(metrics)
+
+        if self._steps_taken >= self._max_intervals and not self.is_done:
             self._episode.truncated = True
         return metrics
 
     def _incoming_with_miss_rate(
         self, workload: WorkloadInterval, miss_rate: float
     ) -> Dict[Level, float]:
+        return dict(zip(LEVELS, self._incoming_values(workload, miss_rate)))
+
+    def _incoming_values(
+        self, workload: WorkloadInterval, miss_rate: float
+    ) -> Tuple[float, float, float]:
+        """Per-level incoming work in LEVELS order (NORMAL, KV, RV)."""
         read_kb = workload.read_kb()
         write_kb = workload.write_kb()
         missed_read_kb = read_kb * miss_rate
-        return {
-            Level.NORMAL: read_kb + write_kb,
-            Level.KV: write_kb * self.config.kv_write_factor
+        return (
+            read_kb + write_kb,
+            write_kb * self.config.kv_write_factor
             + missed_read_kb * self.config.kv_read_miss_factor,
-            Level.RV: write_kb * self.config.rv_write_factor
+            write_kb * self.config.rv_write_factor
             + missed_read_kb * self.config.rv_read_miss_factor,
-        }
+        )
 
     def _sample_idle_cores(self, core_count: int) -> int:
         """Number of cores at a level that are idle this interval (Poisson)."""
@@ -332,18 +397,31 @@ class StorageSimulator:
         # Always keep at least one core active per level.
         return min(idle, core_count - 1)
 
+    def _uniform_capacities(self, core_count: int) -> Tuple[np.ndarray, float]:
+        """Cached (read-only array, pairwise sum) of ``core_count`` full-speed cores."""
+        cached = self._capacity_cache.get(core_count)
+        if cached is None:
+            array = np.full(core_count, self.config.core_capability_kb, dtype=float)
+            array.setflags(write=False)
+            cached = (array, float(array.sum()))
+            self._capacity_cache[core_count] = cached
+        return cached
+
     def _core_capacities(self, cores, idle_count: int) -> np.ndarray:
         """Effective per-core capacities in KB for this interval."""
         capability = self.config.core_capability_kb
-        capacities = np.array(
-            [
-                capability * (1.0 - self.config.migration_penalty)
-                if core.is_penalized
-                else capability
-                for core in cores
-            ],
-            dtype=float,
-        )
+        if self._pool is not None and self._pool.penalized_total == 0:
+            capacities = np.full(len(cores), capability, dtype=float)
+        else:
+            capacities = np.array(
+                [
+                    capability * (1.0 - self.config.migration_penalty)
+                    if core.is_penalized
+                    else capability
+                    for core in cores
+                ],
+                dtype=float,
+            )
         if idle_count > 0:
             # Idle the cores with the largest remaining capacity last so the
             # penalty of idling is conservative (idle full-speed cores first).

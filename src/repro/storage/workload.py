@@ -18,6 +18,17 @@ from repro.storage.iorequest import NUM_IO_TYPES, IORequestType, standard_io_typ
 
 _RATIO_TOLERANCE = 1e-6
 
+# Immutable per-type constants shared by every interval.  These sit on the
+# simulator's per-interval hot path, so they are materialised once instead
+# of being rebuilt from the IORequestType objects on every call.
+_IO_TYPES = tuple(standard_io_types())
+_IO_SIZES_KB = np.array([t.size_kb for t in _IO_TYPES])
+_IO_SIZES_KB.setflags(write=False)
+_SIGNED_SIZES = np.array([t.signed_size for t in _IO_TYPES])
+_SIGNED_SIZES.setflags(write=False)
+_READ_INDICES = [t.index for t in _IO_TYPES if t.is_read]
+_WRITE_INDICES = [t.index for t in _IO_TYPES if t.is_write]
+
 
 @dataclass(frozen=True)
 class WorkloadInterval:
@@ -66,23 +77,41 @@ class WorkloadInterval:
 
     def bytes_by_type(self, io_types: Optional[Sequence[IORequestType]] = None) -> np.ndarray:
         """Expected kilobytes of IO of each type in this interval."""
-        io_types = list(io_types) if io_types is not None else standard_io_types()
+        if io_types is None:
+            return self.request_counts() * _IO_SIZES_KB
         sizes = np.array([t.size_kb for t in io_types])
         return self.request_counts() * sizes
 
     def total_kb(self) -> float:
         """Total expected kilobytes across all types."""
-        return float(self.bytes_by_type().sum())
+        return self._derived()["total_kb"]
 
     def read_kb(self) -> float:
-        io_types = standard_io_types()
-        per_type = self.bytes_by_type(io_types)
-        return float(sum(b for b, t in zip(per_type, io_types) if t.is_read))
+        return self._derived()["read_kb"]
 
     def write_kb(self) -> float:
-        io_types = standard_io_types()
-        per_type = self.bytes_by_type(io_types)
-        return float(sum(b for b, t in zip(per_type, io_types) if t.is_write))
+        return self._derived()["write_kb"]
+
+    def _derived(self) -> Dict[str, float]:
+        """Lazily computed per-interval totals.
+
+        The interval is frozen, so these values never change once
+        computed; the simulator asks for them several times per step.
+        """
+        cache = getattr(self, "_derived_cache", None)
+        if cache is None:
+            per_type = self.bytes_by_type()
+            values = per_type.tolist()
+            # Plain left-to-right Python sums in type-index order — the
+            # same accumulation the original per-call implementation
+            # performed, minus the numpy-scalar boxing.
+            cache = {
+                "total_kb": float(per_type.sum()),
+                "read_kb": float(sum(values[i] for i in _READ_INDICES)),
+                "write_kb": float(sum(values[i] for i in _WRITE_INDICES)),
+            }
+            object.__setattr__(self, "_derived_cache", cache)
+        return cache
 
     def write_fraction(self) -> float:
         """Fraction of IO bytes that are writes (0 when the interval is empty)."""
@@ -92,8 +121,12 @@ class WorkloadInterval:
         return self.write_kb() / total
 
     def size_vector(self) -> np.ndarray:
-        """The paper's ``S`` vector: signed sizes (+read / -write) of the 14 types."""
-        return np.array([t.signed_size for t in standard_io_types()])
+        """The paper's ``S`` vector: signed sizes (+read / -write) of the 14 types.
+
+        The vector is identical for every interval, so a shared read-only
+        array is returned instead of a fresh allocation per call.
+        """
+        return _SIGNED_SIZES
 
     def as_feature_vector(self) -> np.ndarray:
         """Concatenate S, I and Q into the 29-value workload descriptor."""
@@ -107,9 +140,15 @@ class WorkloadInterval:
 
     @staticmethod
     def empty() -> "WorkloadInterval":
-        """An interval with no arriving IO (uniform ratios, zero requests)."""
-        ratios = np.full(NUM_IO_TYPES, 1.0 / NUM_IO_TYPES)
-        return WorkloadInterval(ratios, 0.0)
+        """An interval with no arriving IO (uniform ratios, zero requests).
+
+        Intervals are immutable, so one shared instance serves every
+        caller (the simulator asks for it once per drain interval).
+        """
+        return _EMPTY_INTERVAL
+
+
+_EMPTY_INTERVAL = WorkloadInterval(np.full(NUM_IO_TYPES, 1.0 / NUM_IO_TYPES), 0.0)
 
 
 @dataclass

@@ -97,6 +97,21 @@ class TestArithmeticGradients:
         a = _param([1.0, -2.0])
         check_gradients(lambda: (5.0 - (-a)).sum(), {"a": a})
 
+    def test_scalar_rsub_gate(self):
+        # The GRU convex-combination gate: (1 - z) * n + z * h, exercised
+        # through the allocation-free scalar rsub path.
+        update = _param([0.2, 0.7, -0.3])
+        candidate = _param([1.0, -1.0, 0.5])
+        hidden = _param([0.1, 0.2, 0.3])
+        check_gradients(
+            lambda: ((1.0 - update) * candidate + update * hidden).sum(),
+            {"update": update, "candidate": candidate, "hidden": hidden},
+        )
+        gate = 1.0 - update
+        # The scalar constant must not be materialised as a graph parent.
+        assert gate._parents == (update,)
+        np.testing.assert_allclose(gate.data, 1.0 - update.data)
+
     def test_pow(self):
         a = _param([1.5, 2.0, 0.5])
         check_gradients(lambda: (a ** 3).sum(), {"a": a})

@@ -1,0 +1,305 @@
+"""Seeded equivalence of the batched execution layer with the sequential one.
+
+The contract under test: given the per-episode rng streams from
+``derive_episode_streams``, the batched collector reproduces the
+sequential reference collector bit for bit, trace by trace — and the
+batched inference/update/evaluation paths built on top of it agree with
+their sequential counterparts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.drl.a2c import A2CConfig, A2CTrainer
+from repro.drl.agent import DRLPolicyAgent
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.drl.rollout import (
+    BatchedRolloutCollector,
+    RolloutCollector,
+    Trajectory,
+    TrajectoryBatch,
+    Transition,
+    derive_episode_streams,
+)
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.errors import TrainingError
+from repro.pipeline.evaluation import evaluate_agent, evaluate_policy_batched
+from repro.qbn.dataset import TransitionDataset
+
+
+@pytest.fixture
+def reward_config():
+    return RewardConfig(mode="per_step_penalty")
+
+
+@pytest.fixture
+def collectors(system_config, reward_config):
+    env = StorageAllocationEnv(system_config, reward_config=reward_config)
+    vector_env = VectorStorageAllocationEnv(system_config, reward_config)
+    return RolloutCollector(env, rng=0), BatchedRolloutCollector(vector_env, rng=0)
+
+
+def _assert_trajectories_identical(seq: Trajectory, batched: Trajectory) -> None:
+    assert len(seq) == len(batched)
+    assert seq.makespan == batched.makespan
+    assert seq.truncated == batched.truncated
+    np.testing.assert_array_equal(seq.observations(), batched.observations())
+    np.testing.assert_array_equal(seq.raw_observations(), batched.raw_observations())
+    np.testing.assert_array_equal(seq.hidden_states_before(), batched.hidden_states_before())
+    np.testing.assert_array_equal(seq.hidden_states_after(), batched.hidden_states_after())
+    np.testing.assert_array_equal(seq.actions(), batched.actions())
+    np.testing.assert_array_equal(seq.rewards(), batched.rewards())
+    np.testing.assert_array_equal(seq.value_estimates(), batched.value_estimates())
+    np.testing.assert_array_equal(seq.valid_action_masks(), batched.valid_action_masks())
+
+
+class TestCollectorEquivalence:
+    @pytest.mark.parametrize("epsilon,greedy", [(0.0, True), (0.1, False)])
+    def test_batched_identical_to_sequential(
+        self, collectors, real_traces, tiny_policy, epsilon, greedy
+    ):
+        sequential, batched_collector = collectors
+        episode_rngs, action_rngs = derive_episode_streams(1234, len(real_traces))
+        batched = batched_collector.collect_batch(
+            tiny_policy,
+            real_traces,
+            epsilon=epsilon,
+            greedy=greedy,
+            episode_rngs=episode_rngs,
+            action_rngs=action_rngs,
+        )
+        episode_rngs, action_rngs = derive_episode_streams(1234, len(real_traces))
+        for i, trace in enumerate(real_traces):
+            reference = sequential.collect(
+                tiny_policy,
+                trace,
+                epsilon=epsilon,
+                greedy=greedy,
+                episode_seed=episode_rngs[i],
+                action_rng=action_rngs[i],
+            )
+            _assert_trajectories_identical(reference, batched[i])
+
+    def test_standard_profiles_equivalence(
+        self, collectors, standard_suite, tiny_policy
+    ):
+        """The paper's standard workload profiles, all in one lockstep batch."""
+        sequential, batched_collector = collectors
+        traces = list(standard_suite.values())
+        episode_rngs, action_rngs = derive_episode_streams(7, len(traces))
+        batched = batched_collector.collect_batch(
+            tiny_policy, traces, greedy=True,
+            episode_rngs=episode_rngs, action_rngs=action_rngs,
+        )
+        episode_rngs, action_rngs = derive_episode_streams(7, len(traces))
+        for i, trace in enumerate(traces):
+            reference = sequential.collect(
+                tiny_policy, trace, greedy=True,
+                episode_seed=episode_rngs[i], action_rng=action_rngs[i],
+            )
+            _assert_trajectories_identical(reference, batched[i])
+
+    def test_collect_many_chunks(self, collectors, real_traces, tiny_policy):
+        _, batched_collector = collectors
+        trajectories = batched_collector.collect_many(
+            tiny_policy, real_traces, greedy=True, batch_size=2
+        )
+        assert [t.trace_name for t in trajectories] == [t.name for t in real_traces]
+
+    def test_collect_batch_validation(self, collectors, real_traces, tiny_policy):
+        _, batched_collector = collectors
+        with pytest.raises(TrainingError):
+            batched_collector.collect_batch(tiny_policy, [])
+        with pytest.raises(TrainingError):
+            batched_collector.collect_batch(
+                tiny_policy, real_traces, episode_rngs=[0], action_rngs=[0]
+            )
+
+
+class TestActBatch:
+    def test_act_batch_single_row_matches_act(self, tiny_policy):
+        obs = np.random.default_rng(0).random((1, tiny_policy.config.observation_dim))
+        hidden = np.zeros((1, tiny_policy.config.hidden_size))
+        batched = tiny_policy.act_batch(
+            obs, hidden, rngs=[np.random.default_rng(3)], greedy=False, epsilon=0.2
+        )
+        single = tiny_policy.act(
+            obs[0], hidden[0], rng=np.random.default_rng(3), greedy=False, epsilon=0.2
+        )
+        assert single.action == int(batched.actions[0])
+        np.testing.assert_array_equal(single.log_probs, batched.log_probs[0])
+        np.testing.assert_array_equal(single.probabilities, batched.probabilities[0])
+        np.testing.assert_array_equal(single.hidden_state, batched.hidden_states[0])
+        assert single.value == float(batched.values[0])
+
+    @pytest.mark.parametrize("hidden_size", [16, 48])
+    def test_act_batch_rows_match_act(self, hidden_size):
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=hidden_size), rng=0)
+        rng = np.random.default_rng(1)
+        batch = 9
+        obs = rng.random((batch, policy.config.observation_dim))
+        hidden = rng.random((batch, policy.config.hidden_size)) * 0.1
+        batched = policy.act_batch(
+            obs, hidden, rngs=[np.random.default_rng(i) for i in range(batch)], greedy=False
+        )
+        for i in range(batch):
+            single = policy.act(obs[i], hidden[i], rng=np.random.default_rng(i), greedy=False)
+            assert single.action == int(batched.actions[i])
+            np.testing.assert_array_equal(single.log_probs, batched.log_probs[i])
+            np.testing.assert_array_equal(single.hidden_state, batched.hidden_states[i])
+            assert single.value == float(batched.values[i])
+
+    def test_inactive_rows_consume_no_randomness(self, tiny_policy):
+        obs = np.random.default_rng(0).random((3, tiny_policy.config.observation_dim))
+        hidden = np.zeros((3, tiny_policy.config.hidden_size))
+        rngs = [np.random.default_rng(i) for i in range(3)]
+        active = np.array([True, False, True])
+        out = tiny_policy.act_batch(obs, hidden, rngs=rngs, greedy=False, active=active)
+        assert out.actions[1] == 0
+        # The inactive row's generator is untouched.
+        assert rngs[1].random() == np.random.default_rng(1).random()
+
+
+class TestVectorizedReturns:
+    def _trajectory(self, rewards):
+        trajectory = Trajectory(trace_name="t")
+        for reward in rewards:
+            trajectory.transitions.append(
+                Transition(np.zeros(2), np.zeros(2), np.zeros(2), np.zeros(2), 0, reward, 0.0, False)
+            )
+        return trajectory
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, 0.9, 0.99, 1.0])
+    def test_discounted_returns_match_loop(self, gamma):
+        rng = np.random.default_rng(0)
+        rewards = rng.normal(size=313).tolist()
+        trajectory = self._trajectory(rewards)
+        expected = np.zeros(len(rewards))
+        running = 0.0
+        for t in range(len(rewards) - 1, -1, -1):
+            running = rewards[t] + gamma * running
+            expected[t] = running
+        np.testing.assert_allclose(
+            trajectory.discounted_returns(gamma), expected, rtol=1e-12, atol=1e-12
+        )
+
+    def test_total_reward(self):
+        trajectory = self._trajectory([1.5, -2.0, 0.25])
+        assert trajectory.total_reward == pytest.approx(-0.25, abs=1e-12)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(TrainingError):
+            self._trajectory([1.0]).discounted_returns(1.5)
+
+
+class TestTrajectoryBatch:
+    def test_padding_and_masks(self, collectors, real_traces, tiny_policy):
+        _, batched_collector = collectors
+        trajectories = batched_collector.collect_batch(tiny_policy, real_traces, greedy=True)
+        batch = TrajectoryBatch.from_trajectories(trajectories)
+        horizon = max(len(t) for t in trajectories)
+        assert batch.max_steps == horizon
+        assert batch.batch_size == len(trajectories)
+        assert batch.total_steps == sum(len(t) for t in trajectories)
+        for b, trajectory in enumerate(trajectories):
+            assert batch.mask[: len(trajectory), b].all()
+            assert not batch.mask[len(trajectory):, b].any()
+            np.testing.assert_array_equal(
+                batch.observations[: len(trajectory), b], trajectory.observations()
+            )
+
+    def test_padded_returns(self, collectors, real_traces, tiny_policy):
+        _, batched_collector = collectors
+        trajectories = batched_collector.collect_batch(tiny_policy, real_traces[:2], greedy=True)
+        batch = TrajectoryBatch.from_trajectories(trajectories)
+        padded = batch.padded_returns(0.9)
+        for b, trajectory in enumerate(trajectories):
+            np.testing.assert_array_equal(
+                padded[: len(trajectory), b], trajectory.discounted_returns(0.9)
+            )
+            assert (padded[len(trajectory):, b] == 0).all()
+
+    def test_from_batch_dataset_matches_from_trajectories(
+        self, collectors, real_traces, tiny_policy
+    ):
+        _, batched_collector = collectors
+        trajectories = batched_collector.collect_batch(tiny_policy, real_traces, greedy=True)
+        reference = TransitionDataset.from_trajectories(trajectories)
+        batched = TransitionDataset.from_batch(TrajectoryBatch.from_trajectories(trajectories))
+        np.testing.assert_array_equal(reference.observations, batched.observations)
+        np.testing.assert_array_equal(reference.raw_observations, batched.raw_observations)
+        np.testing.assert_array_equal(reference.hidden_before, batched.hidden_before)
+        np.testing.assert_array_equal(reference.hidden_after, batched.hidden_after)
+        np.testing.assert_array_equal(reference.actions, batched.actions)
+        np.testing.assert_array_equal(reference.episode_ids, batched.episode_ids)
+        np.testing.assert_array_equal(reference.step_ids, batched.step_ids)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(TrainingError):
+            TrajectoryBatch.from_trajectories([])
+        with pytest.raises(TrainingError):
+            TrajectoryBatch.from_trajectories([Trajectory(trace_name="empty")])
+
+
+class TestBatchedTraining:
+    def test_batched_update_matches_per_trajectory_update(
+        self, system_config, reward_config, short_trace
+    ):
+        env = StorageAllocationEnv(system_config, reward_config=reward_config)
+        reference_policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=9)
+        batched_policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=9)
+        collector = RolloutCollector(env, rng=0)
+        trajectory = collector.collect(
+            reference_policy, short_trace, greedy=True, episode_seed=0
+        )
+        reference_trainer = A2CTrainer(
+            reference_policy, env,
+            A2CConfig(use_batched_rollouts=False, batched_updates=False), rng=0,
+        )
+        batched_trainer = A2CTrainer(
+            batched_policy, env,
+            A2CConfig(use_batched_rollouts=True, batched_updates=True), rng=0,
+        )
+        reference_losses = reference_trainer._update_from_trajectory(trajectory)
+        batched_losses = batched_trainer._update_from_batch([trajectory])
+        for key, value in reference_losses.items():
+            assert batched_losses[key] == pytest.approx(value, rel=1e-9, abs=1e-9), key
+
+    def test_training_with_batched_collection_runs(
+        self, system_config, reward_config, real_traces
+    ):
+        env = StorageAllocationEnv(system_config, reward_config=reward_config)
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=12), rng=3)
+        trainer = A2CTrainer(
+            policy, env, A2CConfig(episodes_per_epoch=3, n_step=4), rng=0
+        )
+        before = {k: v.copy() for k, v in policy.state_dict().items()}
+        history = trainer.train(real_traces[:2], epochs=2)
+        assert len(history) == 2
+        after = policy.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+
+class TestBatchedEvaluation:
+    def test_matches_sequential_agent_evaluation(
+        self, system_config, reward_config, real_traces, tiny_policy
+    ):
+        env = StorageAllocationEnv(system_config, reward_config=reward_config)
+        agent = DRLPolicyAgent(tiny_policy, env.observation_encoder)
+        reference = evaluate_agent(
+            agent, real_traces, system_config=system_config,
+            reward_config=reward_config, episode_seed=3,
+        )
+        batched = evaluate_policy_batched(
+            tiny_policy, real_traces, system_config=system_config,
+            reward_config=reward_config, episode_seed=3,
+        )
+        assert batched.agent_name == agent.name
+        assert batched.trace_names == reference.trace_names
+        assert batched.makespans == reference.makespans
+        assert len(batched.episodes) == len(reference.episodes)
+        for batched_episode, reference_episode in zip(batched.episodes, reference.episodes):
+            assert batched_episode.makespan == reference_episode.makespan
+            assert batched_episode.action_histogram() == reference_episode.action_histogram()

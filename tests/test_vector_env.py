@@ -1,0 +1,182 @@
+"""Shape, masking and lockstep-semantics tests for the vectorized environment."""
+
+import numpy as np
+import pytest
+
+from repro.env.environment import StorageAllocationEnv
+from repro.env.observation import OBSERVATION_DIM
+from repro.env.reward import RewardConfig
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.errors import EnvironmentError_
+from repro.storage.migration import NUM_ACTIONS
+
+
+@pytest.fixture
+def vector_env(system_config):
+    return VectorStorageAllocationEnv(
+        system_config, RewardConfig(mode="per_step_penalty")
+    )
+
+
+class TestVectorReset:
+    def test_reset_returns_batched_observations(self, vector_env, real_traces):
+        observations = vector_env.reset(real_traces, rngs=list(range(len(real_traces))))
+        assert observations.shape == (len(real_traces), OBSERVATION_DIM)
+        assert vector_env.num_envs == len(real_traces)
+        assert not vector_env.all_done
+        assert vector_env.raw_observations().shape == observations.shape
+
+    def test_reset_matches_sequential_reset(self, system_config, vector_env, real_traces):
+        observations = vector_env.reset(real_traces, rngs=[7] * len(real_traces))
+        env = StorageAllocationEnv(system_config, reward_config=RewardConfig(mode="per_step_penalty"))
+        for i, trace in enumerate(real_traces):
+            first = env.reset(trace, rng=7)
+            np.testing.assert_array_equal(
+                observations[i], env.observation_encoder.normalize(first)
+            )
+            np.testing.assert_array_equal(vector_env.raw_observations()[i], first.raw())
+
+    def test_reset_validation(self, vector_env, real_traces):
+        with pytest.raises(EnvironmentError_):
+            vector_env.reset([])
+        with pytest.raises(EnvironmentError_):
+            vector_env.reset(real_traces, rngs=[0])
+
+    def test_resize_between_resets(self, vector_env, real_traces):
+        vector_env.reset(real_traces)
+        assert vector_env.num_envs == len(real_traces)
+        vector_env.reset(real_traces[:2])
+        assert vector_env.num_envs == 2
+
+
+class TestVectorStep:
+    def test_step_shapes(self, vector_env, real_traces):
+        vector_env.reset(real_traces, rngs=list(range(len(real_traces))))
+        batch = len(real_traces)
+        result = vector_env.step(np.zeros(batch, dtype=int))
+        assert result.observations.shape == (batch, OBSERVATION_DIM)
+        assert result.raw_observations.shape == (batch, OBSERVATION_DIM)
+        assert result.rewards.shape == (batch,)
+        assert result.dones.shape == (batch,)
+        assert result.stepped.all()
+
+    def test_step_before_reset_raises(self, vector_env):
+        with pytest.raises(EnvironmentError_):
+            vector_env.step(np.zeros(1, dtype=int))
+
+    def test_wrong_action_shape_raises(self, vector_env, real_traces):
+        vector_env.reset(real_traces)
+        with pytest.raises(EnvironmentError_):
+            vector_env.step(np.zeros(len(real_traces) + 1, dtype=int))
+
+    def test_heterogeneous_lengths_auto_mask(self, vector_env, real_traces):
+        """Shorter episodes finish first and are frozen while others drain."""
+        batch = len(real_traces)
+        vector_env.reset(real_traces, rngs=list(range(batch)))
+        makespans = np.zeros(batch, dtype=int)
+        frozen_rows = {}
+        steps = 0
+        while not vector_env.all_done:
+            result = vector_env.step(np.zeros(batch, dtype=int))
+            steps += 1
+            assert steps < 10_000
+            for i in range(batch):
+                if result.newly_done[i]:
+                    makespans[i] = result.makespans[i]
+                    frozen_rows[i] = result.observations[i].copy()
+                elif result.dones[i]:
+                    # Finished slots keep their final observation row and
+                    # contribute zero reward.
+                    np.testing.assert_array_equal(result.observations[i], frozen_rows[i])
+                    assert result.rewards[i] == 0.0
+                    assert not result.stepped[i]
+        # Episodes have different lengths (heterogeneous traces) and every
+        # makespan is at least its trace duration.
+        assert len(set(makespans.tolist())) > 1
+        for i, trace in enumerate(real_traces):
+            assert makespans[i] >= len(trace)
+
+    def test_rewards_match_sequential(self, system_config, vector_env, real_traces):
+        batch = len(real_traces)
+        vector_env.reset(real_traces, rngs=list(range(batch)))
+        env = StorageAllocationEnv(system_config, reward_config=RewardConfig(mode="per_step_penalty"))
+        for i, trace in enumerate(real_traces):
+            env.reset(trace, rng=i)
+        result = vector_env.step(np.ones(batch, dtype=int))
+        for i, trace in enumerate(real_traces):
+            env.reset(trace, rng=i)
+            step = env.step(1)
+            assert step.reward == result.rewards[i]
+            np.testing.assert_array_equal(result.raw_observations[i], step.observation.raw())
+
+
+class TestVectorMasks:
+    def test_mask_shape_and_initial_legality(self, vector_env, real_traces):
+        vector_env.reset(real_traces)
+        masks = vector_env.valid_action_masks()
+        assert masks.shape == (len(real_traces), NUM_ACTIONS)
+        assert masks[:, 0].all()  # noop always legal
+
+    def test_masks_match_sequential_env(self, system_config, vector_env, real_traces):
+        vector_env.reset(real_traces, rngs=list(range(len(real_traces))))
+        env = StorageAllocationEnv(system_config, reward_config=RewardConfig(mode="per_step_penalty"))
+        masks = vector_env.valid_action_masks()
+        for i, trace in enumerate(real_traces):
+            env.reset(trace, rng=i)
+            np.testing.assert_array_equal(masks[i], env.valid_action_mask())
+
+    def test_finished_slots_are_noop_only(self, vector_env, real_traces):
+        batch = len(real_traces)
+        vector_env.reset(real_traces, rngs=list(range(batch)))
+        while not vector_env.all_done:
+            result = vector_env.step(np.zeros(batch, dtype=int))
+        masks = vector_env.valid_action_masks()
+        assert masks[:, 0].all()
+        assert not masks[:, 1:].any()
+
+    def test_sequential_step_info_contains_decision_mask(self, env, short_trace):
+        env.reset(short_trace, rng=0)
+        mask_before = env.valid_action_mask()
+        result = env.step(0)
+        np.testing.assert_array_equal(result.info["valid_action_mask"], mask_before)
+
+
+class TestBatchedNormalize:
+    def test_normalize_batch_matches_per_row(self, env, short_trace):
+        observation = env.reset(short_trace, rng=0)
+        rows = []
+        expected = []
+        for action in (0, 1, 2):
+            step = env.step(action)
+            rows.append(step.observation.raw())
+            expected.append(env.observation_encoder.normalize(step.observation))
+        batch = env.observation_encoder.normalize_batch(np.stack(rows))
+        np.testing.assert_array_equal(batch, np.stack(expected))
+
+    def test_normalize_batch_validates_shape(self, env):
+        with pytest.raises(EnvironmentError_):
+            env.observation_encoder.normalize_batch(np.zeros((3, OBSERVATION_DIM + 1)))
+
+
+class TestMetricsModes:
+    def test_metrics_recorded_when_enabled(self, system_config, real_traces):
+        venv = VectorStorageAllocationEnv(
+            system_config, RewardConfig(mode="per_step_penalty"), record_metrics=True
+        )
+        venv.reset(real_traces[:2], rngs=[0, 1])
+        while not venv.all_done:
+            venv.step(np.zeros(2, dtype=int))
+        for episode, makespan in zip(venv.episode_metrics(), venv._makespans):
+            assert episode.makespan == makespan
+            assert len(episode.intervals) == makespan
+
+    def test_metrics_free_mode_still_tracks_makespan(self, system_config, real_traces):
+        venv = VectorStorageAllocationEnv(
+            system_config, RewardConfig(mode="per_step_penalty"), record_metrics=False
+        )
+        venv.reset(real_traces[:2], rngs=[0, 1])
+        while not venv.all_done:
+            result = venv.step(np.zeros(2, dtype=int))
+        assert (result.makespans >= np.array([len(t) for t in real_traces[:2]])).all()
+        for episode in venv.episode_metrics():
+            assert len(episode.intervals) == 0  # nothing materialised
