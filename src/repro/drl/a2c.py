@@ -58,6 +58,12 @@ class A2CConfig:
     # instead of one update per trajectory; with episodes_per_epoch=1
     # (the default) the two are mathematically identical.
     batched_updates: bool = True
+    # Shard each epoch's episode collection across this many worker
+    # processes (ParallelRolloutCollector).  1 keeps collection
+    # in-process; any value produces bit-identical trajectories because
+    # per-episode rng streams depend only on the drawn base seed and the
+    # episode index, never on the worker layout.
+    rollout_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -74,6 +80,13 @@ class A2CConfig:
             raise ConfigurationError("episodes_per_epoch must be positive")
         if self.n_step < 0:
             raise ConfigurationError("n_step must be non-negative (0 = Monte-Carlo)")
+        if self.rollout_workers <= 0:
+            raise ConfigurationError("rollout_workers must be positive")
+        if self.rollout_workers > 1 and not self.use_batched_rollouts:
+            raise ConfigurationError(
+                "rollout_workers > 1 requires use_batched_rollouts (the parallel "
+                "collector shards the batched lockstep path)"
+            )
 
 
 @dataclass(frozen=True)
@@ -163,28 +176,63 @@ class A2CTrainer:
         # The vectorized twin of ``env`` used for lockstep collection.
         # A custom cache model cannot be inferred (each slot needs its
         # own instance), so demand an explicit vector_env rather than
-        # silently training on different cache dynamics.
-        if vector_env is None and self.config.use_batched_rollouts:
+        # silently training on different cache dynamics.  Parallel
+        # workers always rebuild default vector environments, so they
+        # are subject to the same constraint even with an explicit
+        # vector_env.
+        needs_default_cache_model = (
+            vector_env is None and self.config.use_batched_rollouts
+        ) or self.config.rollout_workers > 1
+        if needs_default_cache_model:
             default_model = env.system_config.build_cache_model()
             if env.simulator.cache_model.signature() != default_model.signature():
+                if self.config.rollout_workers > 1:
+                    raise ConfigurationError(
+                        "rollout_workers > 1 rebuilds default vector environments "
+                        "in worker processes and cannot replicate a custom cache "
+                        "model; set rollout_workers=1"
+                    )
                 raise ConfigurationError(
                     "the environment uses a custom cache model; pass "
                     "vector_env=VectorStorageAllocationEnv(..., "
                     "cache_model_factory=...) explicitly, or set "
                     "use_batched_rollouts=False"
                 )
-        if self.config.use_batched_rollouts or vector_env is not None:
+        if self.config.rollout_workers > 1:
+            if vector_env is not None:
+                raise ConfigurationError(
+                    "rollout_workers > 1 cannot honour an explicit vector_env: "
+                    "worker processes rebuild default vector environments from "
+                    "the training env's system/reward configs; drop vector_env "
+                    "or set rollout_workers=1"
+                )
+            from repro.drl.parallel import ParallelRolloutCollector
+
+            # Collection always goes through the workers, so the
+            # in-process vector twin is never built.
+            self.vector_env = None
+            self.batched_collector: Optional[BatchedRolloutCollector] = None
+            self.parallel_collector: Optional[ParallelRolloutCollector] = (
+                ParallelRolloutCollector(
+                    env.system_config,
+                    env.reward_config,
+                    num_workers=self.config.rollout_workers,
+                )
+            )
+        elif self.config.use_batched_rollouts or vector_env is not None:
             self.vector_env = vector_env or VectorStorageAllocationEnv(
                 env.system_config, env.reward_config
             )
-            self.batched_collector: Optional[BatchedRolloutCollector] = (
-                BatchedRolloutCollector(self.vector_env, rng=self._rng)
+            self.batched_collector = BatchedRolloutCollector(
+                self.vector_env, rng=self._rng
             )
+            self.parallel_collector = None
         else:
             # Sequential-only configuration: do not expose a vector twin
             # that was never validated against env's cache model.
             self.vector_env = None
             self.batched_collector = None
+            self.parallel_collector = None
         self.optimizer = Adam(self.policy.parameters(), lr=self.config.learning_rate)
         self._global_epoch = 0
 
@@ -225,7 +273,19 @@ class A2CTrainer:
 
     def _train_one_epoch(self, trace: WorkloadTrace, epsilon: float) -> Dict[str, float]:
         episodes = self.config.episodes_per_epoch
-        if self.config.use_batched_rollouts:
+        if self.parallel_collector is not None:
+            # Draw the base seed exactly like collect_batch would so the
+            # sharded collection is bit-identical to the in-process
+            # batched path under the same trainer rng state.
+            base_seed = int(self._rng.integers(np.iinfo(np.int64).max))
+            trajectories = self.parallel_collector.collect(
+                self.policy,
+                [trace] * episodes,
+                base_seed=base_seed,
+                epsilon=epsilon,
+                greedy=False,
+            )
+        elif self.config.use_batched_rollouts:
             trajectories = self.batched_collector.collect_batch(
                 self.policy, [trace] * episodes, epsilon=epsilon, greedy=False
             )

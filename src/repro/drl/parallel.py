@@ -1,0 +1,211 @@
+"""Multi-process trajectory collection sharded over worker processes.
+
+:class:`ParallelRolloutCollector` farms episode shards out to worker
+processes.  Each worker rebuilds the policy from its weights, runs a
+:class:`~repro.env.vector_env.VectorStorageAllocationEnv` +
+:class:`~repro.drl.rollout.BatchedRolloutCollector` over a deterministic
+slice of :func:`~repro.drl.rollout.derive_episode_streams`, and ships the
+resulting :class:`~repro.drl.rollout.Trajectory` objects back.  Because
+every episode's rng streams are derived from ``(base_seed, episode
+index)`` regardless of which worker runs it, the merged result is
+bit-identical to collecting all episodes sequentially (or in one lockstep
+batch) with the same ``base_seed`` — sharding only changes wall-clock,
+never semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.drl.rollout import (
+    BatchedRolloutCollector,
+    Trajectory,
+    derive_episode_streams,
+)
+from repro.env.reward import RewardConfig
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.errors import TrainingError
+from repro.storage.simulator import StorageSystemConfig
+from repro.storage.workload import WorkloadTrace
+
+
+def shard_indices(count: int, num_shards: int) -> List[List[int]]:
+    """Split ``range(count)`` into at most ``num_shards`` contiguous slices.
+
+    Shards are balanced to within one episode, ordered, and never empty,
+    so concatenating the shards reproduces the original episode order.
+    """
+    if count <= 0:
+        raise TrainingError(f"count must be positive, got {count}")
+    if num_shards <= 0:
+        raise TrainingError(f"num_shards must be positive, got {num_shards}")
+    num_shards = min(num_shards, count)
+    base, extra = divmod(count, num_shards)
+    shards: List[List[int]] = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """Everything one worker needs to collect its slice of episodes."""
+
+    shard_id: int
+    indices: Tuple[int, ...]
+    traces: Tuple[WorkloadTrace, ...]
+    policy_config: PolicyConfig
+    policy_state: dict
+    system_config: StorageSystemConfig
+    reward_config: Optional[RewardConfig]
+    base_seed: int
+    total_episodes: int
+    epsilon: float
+    greedy: bool
+
+
+def _collect_shard(job: _ShardJob):
+    """Worker entry point: collect one shard's episodes in lockstep.
+
+    Returns ``(shard_id, trajectories, None)`` on success and
+    ``(shard_id, None, formatted traceback)`` on failure so the parent
+    can attribute errors to a shard without losing the stack.
+    """
+    try:
+        policy = RecurrentPolicyValueNet(job.policy_config)
+        policy.load_state_dict(job.policy_state)
+        episode_rngs, action_rngs = derive_episode_streams(
+            job.base_seed, job.total_episodes
+        )
+        vector_env = VectorStorageAllocationEnv(job.system_config, job.reward_config)
+        collector = BatchedRolloutCollector(vector_env)
+        trajectories = collector.collect_batch(
+            policy,
+            list(job.traces),
+            epsilon=job.epsilon,
+            greedy=job.greedy,
+            episode_rngs=[episode_rngs[i] for i in job.indices],
+            action_rngs=[action_rngs[i] for i in job.indices],
+        )
+        return job.shard_id, trajectories, None
+    except Exception:  # pragma: no cover - exercised via the failure test
+        return job.shard_id, None, traceback.format_exc()
+
+
+class ParallelRolloutCollector:
+    """Collects N trajectories by sharding episodes across processes.
+
+    The determinism contract mirrors the batched collector's: episode
+    ``i`` always consumes streams ``derive_episode_streams(base_seed,
+    N)[i]``, so for a fixed ``base_seed`` the merged trajectory list is
+    bit-identical whether it was collected sequentially, in one lockstep
+    batch, or across any number of worker processes.
+
+    ``num_workers <= 1`` degrades to running the shards in-process (no
+    multiprocessing import-time or pickling cost), which keeps the class
+    usable as a drop-in collector on single-core machines.
+    """
+
+    def __init__(
+        self,
+        system_config: Optional[StorageSystemConfig] = None,
+        reward_config: Optional[RewardConfig] = None,
+        num_workers: int = 2,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise TrainingError(f"num_workers must be positive, got {num_workers}")
+        self.system_config = system_config or StorageSystemConfig()
+        self.system_config.validate()
+        self.reward_config = reward_config
+        self.num_workers = int(num_workers)
+        self.start_method = start_method
+
+    def _make_jobs(
+        self,
+        policy: RecurrentPolicyValueNet,
+        traces: Sequence[WorkloadTrace],
+        base_seed: int,
+        epsilon: float,
+        greedy: bool,
+    ) -> List[_ShardJob]:
+        total = len(traces)
+        state = policy.state_dict()
+        jobs = []
+        for shard_id, indices in enumerate(shard_indices(total, self.num_workers)):
+            jobs.append(
+                _ShardJob(
+                    shard_id=shard_id,
+                    indices=tuple(indices),
+                    traces=tuple(traces[i] for i in indices),
+                    policy_config=policy.config,
+                    policy_state=state,
+                    system_config=self.system_config,
+                    reward_config=self.reward_config,
+                    base_seed=int(base_seed),
+                    total_episodes=total,
+                    epsilon=float(epsilon),
+                    greedy=bool(greedy),
+                )
+            )
+        return jobs
+
+    def collect(
+        self,
+        policy: RecurrentPolicyValueNet,
+        traces: Sequence[WorkloadTrace],
+        base_seed: int,
+        epsilon: float = 0.0,
+        greedy: bool = False,
+    ) -> List[Trajectory]:
+        """Collect one trajectory per trace, sharded across workers.
+
+        The result is ordered like ``traces`` and bit-identical to::
+
+            episode_rngs, action_rngs = derive_episode_streams(base_seed, len(traces))
+            BatchedRolloutCollector(...).collect_batch(
+                policy, traces, episode_rngs=episode_rngs, action_rngs=action_rngs)
+        """
+        traces = list(traces)
+        if not traces:
+            raise TrainingError("collect() needs at least one trace")
+        jobs = self._make_jobs(policy, traces, base_seed, epsilon, greedy)
+
+        # Daemonic workers (e.g. a SweepRunner job process) cannot spawn
+        # child processes; shard in-process there — identical results,
+        # since the worker layout never affects the rng streams.
+        in_daemonic_worker = multiprocessing.current_process().daemon
+        if len(jobs) == 1 or self.num_workers == 1 or in_daemonic_worker:
+            outcomes = [_collect_shard(job) for job in jobs]
+        else:
+            context = multiprocessing.get_context(self.start_method)
+            with context.Pool(processes=min(self.num_workers, len(jobs))) as pool:
+                outcomes = pool.map(_collect_shard, jobs)
+
+        merged: List[Optional[Trajectory]] = [None] * len(traces)
+        for job, (shard_id, trajectories, error) in zip(jobs, outcomes):
+            if error is not None:
+                raise TrainingError(
+                    f"rollout shard {shard_id} (episodes {list(job.indices)}) "
+                    f"failed:\n{error}"
+                )
+            if len(trajectories) != len(job.indices):
+                raise TrainingError(
+                    f"rollout shard {shard_id} returned {len(trajectories)} "
+                    f"trajectories for {len(job.indices)} episodes"
+                )
+            for index, trajectory in zip(job.indices, trajectories):
+                merged[index] = trajectory
+        missing = [i for i, trajectory in enumerate(merged) if trajectory is None]
+        if missing:
+            raise TrainingError(f"episodes {missing} were not covered by any shard")
+        return list(merged)

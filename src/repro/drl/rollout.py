@@ -408,11 +408,22 @@ class BatchedRolloutCollector:
         epsilon: float = 0.0,
         greedy: bool = False,
         batch_size: Optional[int] = None,
+        base_seed: Optional[int] = None,
     ) -> List[Trajectory]:
         """Collect one trajectory per trace, ``batch_size`` episodes at a time.
 
         Drop-in replacement for :meth:`RolloutCollector.collect_many`;
         with ``batch_size=None`` the whole trace list runs as one batch.
+        Any ``batch_size`` degrades gracefully — a batch of one and a
+        final partial chunk (episode count not a multiple of the batch)
+        run through the same lockstep path.
+
+        With ``base_seed`` set, per-episode streams are derived once for
+        the *full* episode list and sliced per chunk, so the trajectories
+        are bit-identical for every ``batch_size`` (and to a sequential
+        or multi-process collection from the same seed).  Without it each
+        chunk draws its own base seed from this collector's generator, so
+        results then depend on the chunking.
         """
         traces = list(traces)
         if not traces:
@@ -420,11 +431,19 @@ class BatchedRolloutCollector:
         chunk = len(traces) if batch_size is None else int(batch_size)
         if chunk <= 0:
             raise TrainingError(f"batch_size must be positive, got {batch_size}")
+        if base_seed is not None:
+            episode_rngs, action_rngs = derive_episode_streams(base_seed, len(traces))
         trajectories: List[Trajectory] = []
         for start in range(0, len(traces), chunk):
+            stop = start + chunk
             trajectories.extend(
                 self.collect_batch(
-                    policy, traces[start : start + chunk], epsilon=epsilon, greedy=greedy
+                    policy,
+                    traces[start:stop],
+                    epsilon=epsilon,
+                    greedy=greedy,
+                    episode_rngs=None if base_seed is None else episode_rngs[start:stop],
+                    action_rngs=None if base_seed is None else action_rngs[start:stop],
                 )
             )
         return trajectories

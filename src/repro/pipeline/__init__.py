@@ -7,6 +7,9 @@
   FSM and interpret it.
 * :mod:`repro.pipeline.experiments` — parameterised runners that
   regenerate each of the paper's figures (used by the benchmark suite).
+* :mod:`repro.pipeline.sweep` — sharded experiment sweeps: grid
+  expansion into seeded jobs, multi-process execution with failure
+  capture, deterministic per-job JSON results.
 """
 
 from repro.pipeline.evaluation import EvaluationResult, evaluate_agent, compare_agents
@@ -14,6 +17,13 @@ from repro.pipeline.learning_aided import (
     LearningAidedPipeline,
     PipelineConfig,
     PipelineResult,
+)
+from repro.pipeline.sweep import (
+    SweepJob,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    expand_jobs,
 )
 from repro.pipeline import experiments
 
@@ -24,5 +34,10 @@ __all__ = [
     "LearningAidedPipeline",
     "PipelineConfig",
     "PipelineResult",
+    "SweepSpec",
+    "SweepJob",
+    "SweepRunner",
+    "SweepResult",
+    "expand_jobs",
     "experiments",
 ]

@@ -28,6 +28,7 @@ class EvaluationResult:
     trace_names: List[str] = field(default_factory=list)
     makespans: List[int] = field(default_factory=list)
     episodes: List[EpisodeMetrics] = field(default_factory=list)
+    total_rewards: List[float] = field(default_factory=list)
 
     def mean_makespan(self) -> float:
         return float(np.mean(self.makespans)) if self.makespans else float("nan")
@@ -35,11 +36,15 @@ class EvaluationResult:
     def total_makespan(self) -> int:
         return int(np.sum(self.makespans)) if self.makespans else 0
 
+    def mean_total_reward(self) -> float:
+        return float(np.mean(self.total_rewards)) if self.total_rewards else float("nan")
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "agent": self.agent_name,
             "mean_makespan": self.mean_makespan(),
             "total_makespan": float(self.total_makespan()),
+            "mean_total_reward": self.mean_total_reward(),
             "traces": float(len(self.trace_names)),
         }
 
@@ -65,14 +70,19 @@ def evaluate_agent(
         env = StorageAllocationEnv(system_config, reward_config=reward_config)
         observation = env.reset(trace, rng=episode_seed + index)
         agent.reset()
+        rewards: List[float] = []
         while True:
             step = env.step(agent.act(observation))
             observation = step.observation
+            rewards.append(step.reward)
             if step.done:
                 break
         result.trace_names.append(trace.name)
         result.makespans.append(env.simulator.makespan)
         result.episodes.append(env.episode_metrics)
+        # Reduce exactly like Trajectory.total_reward (np.sum) so the
+        # batched path reports bit-identical totals.
+        result.total_rewards.append(float(np.asarray(rewards).sum()))
     return result
 
 
@@ -111,6 +121,7 @@ def evaluate_policy_batched(
         result.trace_names.append(trajectory.trace_name)
         result.makespans.append(int(trajectory.makespan))
         result.episodes.append(episode)
+        result.total_rewards.append(float(trajectory.total_reward))
     return result
 
 

@@ -353,11 +353,12 @@ def run_baseline_comparison(
     system_config: Optional[StorageSystemConfig] = None,
     num_traces: int = 10,
     seed: int = 0,
+    duration: int = 48,
 ) -> Dict[str, float]:
     """Compare only Default and Handcrafted FSM (no training involved)."""
     system_config = system_config or StorageSystemConfig()
     generator = StandardWorkloadGenerator(system_config, GeneratorConfig(), rng=seed)
-    standard = generator.generate_suite(duration=48)
+    standard = generator.generate_suite(duration=duration)
     sampler = RealTraceSampler(standard, rng=seed + 1)
     traces = sampler.sample_many(num_traces)
     comparison = compare_agents(

@@ -1,0 +1,552 @@
+"""Sharded experiment sweeps: grid expansion, multi-process execution, JSON results.
+
+A :class:`SweepSpec` describes a family of seeded experiments as a base
+parameter set plus a grid of variations; :class:`SweepRunner` expands the
+grid into :class:`SweepJob` instances, executes them (optionally across
+worker processes), captures failures without aborting the sweep, writes
+one canonical JSON result per job plus an aggregate comparison table, and
+fingerprints every job payload so reruns can be checked for determinism.
+
+Determinism contract: a job's result payload depends only on its
+``(kind, params, seed)`` triple — wall-clock timings are kept out of the
+per-job payloads (they live in the aggregate summary only), so running
+the same spec twice, with any worker count, produces byte-identical
+per-job JSON files.
+
+Job kinds:
+
+* ``"agents"`` — seeded :func:`~repro.pipeline.evaluation.compare_agents`
+  over generated workloads for a set of baseline controllers;
+* ``"training"`` — a short seeded A2C training run, reporting final
+  smoothed makespan and reward;
+* ``"pipeline"`` — a full (scaled-down) :class:`LearningAidedPipeline`
+  run, reporting evaluation makespans of the trained DRL policy and the
+  extracted FSM against the default baseline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import re
+import time
+import traceback
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.utils.serialization import json_digest, save_json
+from repro.utils.tables import format_table
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Config override plumbing
+# ----------------------------------------------------------------------
+def apply_overrides(config: Any, overrides: Mapping[str, Any]) -> Any:
+    """Return a copy of a (possibly nested) dataclass with dotted overrides.
+
+    ``{"a2c.learning_rate": 1e-3}`` rebuilds ``config.a2c`` with the new
+    learning rate and returns a new top-level config; unknown fields
+    raise :class:`ConfigurationError` instead of silently doing nothing.
+    """
+    for dotted in sorted(overrides):
+        config = _replace_path(config, dotted.split("."), overrides[dotted], dotted)
+    return config
+
+
+def _replace_path(config: Any, path: List[str], value: Any, dotted: str) -> Any:
+    if not is_dataclass(config):
+        raise ConfigurationError(
+            f"cannot apply override {dotted!r}: {type(config).__name__} is not a dataclass"
+        )
+    name = path[0]
+    if name not in {f.name for f in fields(config)}:
+        raise ConfigurationError(
+            f"unknown field {name!r} in override {dotted!r} "
+            f"(available: {sorted(f.name for f in fields(config))})"
+        )
+    if len(path) > 1:
+        value = _replace_path(getattr(config, name), path[1:], value, dotted)
+    return replace(config, **{name: value})
+
+
+# ----------------------------------------------------------------------
+# Spec and job model
+# ----------------------------------------------------------------------
+_KINDS = ("agents", "training", "pipeline")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative description of one experiment sweep.
+
+    ``base`` holds parameters shared by every job; ``grid`` maps
+    parameter names to lists of values whose cartesian product (crossed
+    with ``seeds``) defines the jobs.  Parameter names may be dotted
+    config paths for the ``training``/``pipeline`` kinds (see
+    :func:`apply_overrides`) or plain job parameters (see each kind's
+    runner for the recognised keys).
+    """
+
+    name: str
+    kind: str = "agents"
+    base: Dict[str, Any] = field(default_factory=dict)
+    grid: Dict[str, Sequence[Any]] = field(default_factory=dict)
+    seeds: Sequence[int] = (0,)
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep name must be non-empty")
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not self.seeds:
+            raise ConfigurationError("sweep needs at least one seed")
+        for key, values in self.grid.items():
+            if not isinstance(values, (list, tuple)):
+                raise ConfigurationError(
+                    f"grid values for {key!r} must be a list, got {type(values).__name__}"
+                )
+            if not values:
+                raise ConfigurationError(f"grid axis {key!r} is empty")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "base": dict(self.base),
+            "grid": {key: list(values) for key, values in self.grid.items()},
+            "seeds": list(self.seeds),
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "SweepSpec":
+        known = {"name", "kind", "base", "grid", "seeds"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(f"unknown sweep spec keys: {sorted(unknown)}")
+        if "name" not in payload:
+            raise ConfigurationError("sweep spec needs a 'name'")
+        raw_grid = dict(payload.get("grid", {}))
+        for key, values in raw_grid.items():
+            # Check the raw value: list() would happily explode a string
+            # typo like "0.9" into ['0', '.', '9'].
+            if not isinstance(values, (list, tuple)):
+                raise ConfigurationError(
+                    f"grid values for {key!r} must be a list, got {type(values).__name__}"
+                )
+        raw_seeds = payload.get("seeds", [0])
+        if not isinstance(raw_seeds, (list, tuple)):
+            raise ConfigurationError(
+                f"seeds must be a list, got {type(raw_seeds).__name__}"
+            )
+        spec = SweepSpec(
+            name=str(payload["name"]),
+            kind=str(payload.get("kind", "agents")),
+            base=dict(payload.get("base", {})),
+            grid={k: list(v) for k, v in raw_grid.items()},
+            seeds=[int(s) for s in raw_seeds],
+        )
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One fully-specified, seeded experiment of a sweep."""
+
+    index: int
+    name: str
+    kind: str
+    seed: int
+    params: Dict[str, Any]
+
+    def payload_id(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "seed": self.seed,
+                "params": dict(self.params)}
+
+
+def _slug(text: str) -> str:
+    """A filesystem-safe job label.
+
+    Keeps hyphens as-is: a leading ``-`` may be a legitimate minus sign
+    of a negative grid value and must survive into the job name.
+    """
+    return re.sub(r"[^A-Za-z0-9_.=-]+", "-", str(text)) or "job"
+
+
+def expand_jobs(spec: SweepSpec) -> List[SweepJob]:
+    """Expand ``spec`` into its deterministic, ordered job list.
+
+    Grid axes are iterated in sorted-name order, values in the order
+    given, seeds last — so the job list (names, indices and parameters)
+    is identical on every invocation and on every machine.
+    """
+    spec.validate()
+    axes = sorted(spec.grid)
+    combos = list(itertools.product(*(list(spec.grid[axis]) for axis in axes)))
+    jobs: List[SweepJob] = []
+    for combo in combos:
+        overrides = dict(zip(axes, combo))
+        for seed in spec.seeds:
+            params = dict(spec.base)
+            params.update(overrides)
+            label_parts = [f"{axis}={_slug(value)}" for axis, value in zip(axes, combo)]
+            label_parts.append(f"seed={seed}")
+            jobs.append(
+                SweepJob(
+                    index=len(jobs),
+                    name=f"{_slug(spec.name)}-{len(jobs):03d}-{'-'.join(label_parts)}",
+                    kind=spec.kind,
+                    seed=int(seed),
+                    params=params,
+                )
+            )
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Job execution (module-level so worker processes can pickle them)
+# ----------------------------------------------------------------------
+def _split_params(
+    params: Mapping[str, Any],
+    plain: Sequence[str],
+    allow_plain_overrides: bool = False,
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Partition job params into plain keys and config overrides.
+
+    Dotted keys are always overrides; with ``allow_plain_overrides``
+    undotted unknown keys are too (used by the pipeline kind, where
+    top-level ``PipelineConfig`` fields are legitimate override targets
+    and :func:`apply_overrides` still rejects unknown field names).
+    """
+    plain_params: Dict[str, Any] = {}
+    overrides: Dict[str, Any] = {}
+    for key, value in params.items():
+        if key in plain:
+            plain_params[key] = value
+        elif "." in key or allow_plain_overrides:
+            overrides[key] = value
+        else:
+            raise ConfigurationError(
+                f"unknown job parameter {key!r} (plain parameters: {sorted(plain)}; "
+                "dotted names are treated as config overrides)"
+            )
+    return plain_params, overrides
+
+
+def _build_agent(name: str, system_config):
+    from repro.agents.default import DefaultPolicy
+    from repro.agents.greedy import GreedyUtilizationPolicy
+    from repro.agents.handcrafted import HandcraftedFSMPolicy
+    from repro.agents.proportional import ProportionalAllocationPolicy
+
+    builders = {
+        "default": lambda: DefaultPolicy(),
+        "handcrafted_fsm": lambda: HandcraftedFSMPolicy(),
+        "greedy_utilization": lambda: GreedyUtilizationPolicy(),
+        "proportional_allocation": lambda: ProportionalAllocationPolicy(system_config),
+    }
+    if name not in builders:
+        raise ConfigurationError(
+            f"unknown agent {name!r} (available: {sorted(builders)})"
+        )
+    return builders[name]()
+
+
+def _build_traces(system_config, seed: int, num_traces: int, duration: int,
+                  target_load: float):
+    from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+    from repro.workloads.sampler import RealTraceSampler, SamplerConfig
+
+    generator = StandardWorkloadGenerator(
+        system_config, GeneratorConfig(target_load=float(target_load)), rng=seed
+    )
+    standard = generator.generate_suite(duration=int(duration))
+    sampler = RealTraceSampler(
+        standard,
+        SamplerConfig(snippets_per_trace=2, min_snippet_length=max(4, duration // 3),
+                      max_snippet_length=max(6, duration // 2)),
+        rng=seed + 1,
+    )
+    return sampler.sample_many(int(num_traces))
+
+
+def _run_agents_job(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """Seeded baseline-controller comparison over generated workloads."""
+    from repro.pipeline.evaluation import compare_agents
+    from repro.storage.simulator import StorageSystemConfig
+
+    plain, overrides = _split_params(
+        params, ("num_traces", "duration", "target_load", "agents", "episode_seed")
+    )
+    system_config = apply_overrides(StorageSystemConfig(), overrides) if overrides \
+        else StorageSystemConfig()
+    agents = [
+        _build_agent(name, system_config)
+        for name in plain.get("agents", ["default", "greedy_utilization",
+                                         "proportional_allocation"])
+    ]
+    traces = _build_traces(
+        system_config, seed,
+        num_traces=plain.get("num_traces", 4),
+        duration=plain.get("duration", 24),
+        target_load=plain.get("target_load", 1.0),
+    )
+    results = compare_agents(
+        agents, traces, system_config=system_config,
+        episode_seed=int(plain.get("episode_seed", seed)),
+    )
+    metrics: Dict[str, Any] = {"num_traces": len(traces)}
+    for name, result in results.items():
+        metrics[f"{name}/mean_makespan"] = result.mean_makespan()
+        metrics[f"{name}/total_makespan"] = result.total_makespan()
+        metrics[f"{name}/mean_total_reward"] = result.mean_total_reward()
+    return metrics
+
+
+def _run_training_job(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A short seeded A2C run; dotted ``a2c.*`` params override the A2C
+    config (the policy is configured via the plain ``hidden_size``)."""
+    from repro.drl.a2c import A2CConfig, A2CTrainer
+    from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+    from repro.env.environment import StorageAllocationEnv
+    from repro.env.reward import RewardConfig
+    from repro.storage.simulator import StorageSystemConfig
+
+    plain, overrides = _split_params(
+        params,
+        ("epochs", "num_traces", "duration", "target_load", "hidden_size"),
+    )
+    a2c_overrides = {k[len("a2c."):]: v for k, v in overrides.items()
+                     if k.startswith("a2c.")}
+    unknown = set(overrides) - {f"a2c.{k}" for k in a2c_overrides}
+    if unknown:
+        raise ConfigurationError(
+            f"training jobs only accept 'a2c.*' overrides, got {sorted(unknown)}"
+        )
+    a2c_config = apply_overrides(A2CConfig(), a2c_overrides)
+
+    system_config = StorageSystemConfig()
+    traces = _build_traces(
+        system_config, seed,
+        num_traces=plain.get("num_traces", 2),
+        duration=plain.get("duration", 16),
+        target_load=plain.get("target_load", 1.0),
+    )
+    env = StorageAllocationEnv(
+        system_config, reward_config=RewardConfig(mode="per_step_penalty"), rng=seed
+    )
+    policy = RecurrentPolicyValueNet(
+        PolicyConfig(hidden_size=int(plain.get("hidden_size", 16))), rng=seed
+    )
+    trainer = A2CTrainer(policy, env, config=a2c_config, rng=seed)
+    history = trainer.train(traces, epochs=int(plain.get("epochs", 3)))
+    makespans = history.makespans()
+    rewards = [record.total_reward for record in history.records]
+    return {
+        "epochs": len(history),
+        "final_makespan": float(makespans[-1]),
+        "mean_makespan": float(makespans.mean()),
+        "final_total_reward": float(rewards[-1]),
+        "learning_rate": float(a2c_config.learning_rate),
+    }
+
+
+def _run_pipeline_job(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A full (scaled-down) pipeline run evaluated against the default baseline."""
+    from repro.agents.default import DefaultPolicy
+    from repro.pipeline.evaluation import compare_agents
+    from repro.pipeline.experiments import small_pipeline_config
+    from repro.pipeline.learning_aided import LearningAidedPipeline
+
+    plain, overrides = _split_params(
+        params,
+        ("standard_epochs", "real_epochs", "hidden_size", "trace_duration",
+         "num_real_traces", "num_eval_traces"),
+        allow_plain_overrides=True,
+    )
+    config = small_pipeline_config(
+        seed=seed,
+        standard_epochs=int(plain.get("standard_epochs", 3)),
+        real_epochs=int(plain.get("real_epochs", 3)),
+        hidden_size=int(plain.get("hidden_size", 16)),
+        trace_duration=int(plain.get("trace_duration", 16)),
+        num_real_traces=int(plain.get("num_real_traces", 4)),
+        num_eval_traces=int(plain.get("num_eval_traces", 2)),
+    )
+    if overrides:
+        config = apply_overrides(config, overrides)
+    pipeline = LearningAidedPipeline(config)
+    result = pipeline.run()
+    env = pipeline.make_env()
+    comparison = compare_agents(
+        [DefaultPolicy(), result.drl_agent(env), result.fsm_agent(env)],
+        result.eval_traces,
+        system_config=config.system,
+        reward_config=config.reward,
+        episode_seed=seed,
+    )
+    metrics: Dict[str, Any] = {
+        "train_epochs": len(result.training_history),
+        "fsm_states": result.extraction.fsm.num_states,
+        "eval_traces": len(result.eval_traces),
+    }
+    for name, evaluation in comparison.items():
+        metrics[f"{name}/mean_makespan"] = evaluation.mean_makespan()
+    return metrics
+
+
+_JOB_RUNNERS: Dict[str, Callable[[Mapping[str, Any], int], Dict[str, Any]]] = {
+    "agents": _run_agents_job,
+    "training": _run_training_job,
+    "pipeline": _run_pipeline_job,
+}
+
+
+def execute_job(job: SweepJob) -> Dict[str, Any]:
+    """Run one job and return its canonical (deterministic) result record.
+
+    Failures are captured, not raised: a failed job yields a record with
+    ``status="failed"`` and a concise error string so one bad grid point
+    cannot abort a multi-hour sweep.  The record deliberately excludes
+    wall-clock timings — its :func:`~repro.utils.serialization.json_digest`
+    depends only on the job identity and its metrics.
+    """
+    record = job.payload_id()
+    try:
+        runner = _JOB_RUNNERS[job.kind]
+        record["metrics"] = runner(job.params, job.seed)
+        record["status"] = "ok"
+    except Exception as exc:
+        record["status"] = "failed"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc()
+    record["digest"] = json_digest(
+        {k: v for k, v in record.items() if k != "traceback"}
+    )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class SweepResult:
+    """All job records of one sweep run plus aggregate bookkeeping."""
+
+    spec: SweepSpec
+    records: List[Dict[str, Any]]
+    wall_time_s: float = 0.0
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["status"] != "ok"]
+
+    def metrics_columns(self) -> List[str]:
+        columns: List[str] = []
+        for record in self.records:
+            for key in record.get("metrics", {}):
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def table(self) -> str:
+        """Aggregate comparison table: one row per job, one column per metric."""
+        columns = self.metrics_columns()
+        headers = ["job", "seed", "status"] + columns
+        rows = []
+        for record in self.records:
+            metrics = record.get("metrics", {})
+            row: List[object] = [record["name"], record["seed"], record["status"]]
+            row.extend(
+                metrics[key] if key in metrics else "-" for key in columns
+            )
+            rows.append(row)
+        return format_table(headers, rows, title=f"Sweep {self.spec.name} ({self.spec.kind})")
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "num_jobs": self.num_jobs,
+            "num_failed": len(self.failures),
+            "digests": {r["name"]: r["digest"] for r in self.records},
+        }
+
+
+class SweepRunner:
+    """Expands a :class:`SweepSpec` and executes its jobs, optionally in parallel.
+
+    ``output_dir`` (optional) receives ``jobs/<job name>.json`` — the
+    canonical per-job records, byte-identical across reruns — plus
+    ``sweep.json`` (aggregate summary incl. per-job digests and the one
+    place wall-clock timing is recorded) and ``summary.txt`` (the
+    rendered comparison table).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        output_dir: Optional[PathLike] = None,
+        num_workers: int = 1,
+        start_method: Optional[str] = None,
+        progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ConfigurationError(f"num_workers must be positive, got {num_workers}")
+        spec.validate()
+        self.spec = spec
+        self.output_dir = Path(output_dir) if output_dir is not None else None
+        self.num_workers = int(num_workers)
+        self.start_method = start_method
+        self.progress = progress
+
+    def expand(self) -> List[SweepJob]:
+        return expand_jobs(self.spec)
+
+    def run(self) -> SweepResult:
+        jobs = self.expand()
+        start = time.perf_counter()
+        records: List[Dict[str, Any]] = []
+        if self.num_workers == 1 or len(jobs) == 1:
+            for job in jobs:
+                records.append(execute_job(job))
+                self._report(len(records), len(jobs), records[-1])
+        else:
+            context = multiprocessing.get_context(self.start_method)
+            with context.Pool(processes=min(self.num_workers, len(jobs))) as pool:
+                # imap preserves job order while letting workers overlap.
+                for record in pool.imap(execute_job, jobs):
+                    records.append(record)
+                    self._report(len(records), len(jobs), record)
+        result = SweepResult(
+            spec=self.spec, records=records,
+            wall_time_s=time.perf_counter() - start,
+        )
+        if self.output_dir is not None:
+            self._write_outputs(result)
+        return result
+
+    def _report(self, done: int, total: int, record: Dict[str, Any]) -> None:
+        if self.progress is not None:
+            self.progress(done, total, record)
+
+    def _write_outputs(self, result: SweepResult) -> None:
+        jobs_dir = self.output_dir / "jobs"
+        jobs_dir.mkdir(parents=True, exist_ok=True)
+        for record in result.records:
+            save_json(jobs_dir / f"{record['name']}.json", record)
+        summary = result.summary()
+        summary["wall_time_s"] = result.wall_time_s
+        save_json(self.output_dir / "sweep.json", summary)
+        (self.output_dir / "summary.txt").write_text(
+            result.table() + "\n", encoding="utf-8"
+        )

@@ -76,7 +76,11 @@ class RngFactory:
 
 
 def _stable_hash(text: str) -> int:
-    """A process-independent 63-bit hash of ``text``."""
+    """A process-independent 63-bit hash of ``text``.
+
+    Unlike the builtin ``hash`` (salted per process), this FNV-1a variant
+    is identical across interpreter runs and worker processes.
+    """
     value = 1469598103934665603
     for byte in text.encode("utf-8"):
         value ^= byte

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
@@ -28,13 +29,19 @@ def _to_jsonable(value: Any) -> Any:
     return value
 
 
+def _canonical_json(payload: Mapping[str, Any]) -> str:
+    """The canonical text form shared by :func:`save_json` and :func:`json_digest`."""
+    return json.dumps(_to_jsonable(dict(payload)), indent=2, sort_keys=True)
+
+
 def save_json(path: PathLike, payload: Mapping[str, Any]) -> None:
     """Write ``payload`` to ``path`` as pretty-printed JSON."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     try:
+        text = _canonical_json(payload)
         with path.open("w", encoding="utf-8") as fh:
-            json.dump(_to_jsonable(dict(payload)), fh, indent=2, sort_keys=True)
+            fh.write(text)
     except (TypeError, OSError) as exc:
         raise SerializationError(f"could not write JSON to {path}: {exc}") from exc
 
@@ -47,6 +54,16 @@ def load_json(path: PathLike) -> Dict[str, Any]:
             return json.load(fh)
     except (json.JSONDecodeError, OSError) as exc:
         raise SerializationError(f"could not read JSON from {path}: {exc}") from exc
+
+
+def json_digest(payload: Mapping[str, Any]) -> str:
+    """A stable sha256 fingerprint of ``payload``'s canonical JSON form.
+
+    Two payloads digest identically iff :func:`save_json` would write the
+    same bytes for them, which makes the digest a cheap determinism check
+    for experiment results (the sweep runner records one per job).
+    """
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 def save_npz(path: PathLike, arrays: Mapping[str, np.ndarray]) -> None:

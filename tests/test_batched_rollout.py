@@ -243,6 +243,69 @@ class TestTrajectoryBatch:
             TrajectoryBatch.from_trajectories([Trajectory(trace_name="empty")])
 
 
+class TestBatchSizeDegradation:
+    """The lockstep path degrades gracefully at B=1 and partial batches."""
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 5, None])
+    def test_collect_many_shapes_and_order(
+        self, collectors, real_traces, tiny_policy, batch_size
+    ):
+        """Any chunking of the episode count — including B=1 and a final
+        partial chunk — yields one well-formed trajectory per trace."""
+        _, batched_collector = collectors
+        trajectories = batched_collector.collect_many(
+            tiny_policy, real_traces, greedy=True, batch_size=batch_size
+        )
+        assert [t.trace_name for t in trajectories] == [t.name for t in real_traces]
+        for trajectory in trajectories:
+            assert len(trajectory) > 0
+            assert trajectory.makespan == len(trajectory)
+            masks = trajectory.valid_action_masks()
+            assert masks.shape == (len(trajectory), tiny_policy.config.num_actions)
+            assert masks[:, 0].all()
+
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_trajectory_batch_shapes_and_masks(
+        self, collectors, real_traces, tiny_policy, width
+    ):
+        _, batched_collector = collectors
+        trajectories = batched_collector.collect_batch(
+            tiny_policy, real_traces[:width], greedy=True
+        )
+        batch = TrajectoryBatch.from_trajectories(trajectories)
+        horizon = max(len(t) for t in trajectories)
+        obs_dim = tiny_policy.config.observation_dim
+        hidden_dim = tiny_policy.config.hidden_size
+        assert batch.observations.shape == (horizon, width, obs_dim)
+        assert batch.hidden_before.shape == (horizon, width, hidden_dim)
+        assert batch.actions.shape == (horizon, width)
+        assert batch.mask.shape == (horizon, width)
+        assert batch.total_steps == sum(len(t) for t in trajectories)
+        time_idx, env_idx = batch.valid_positions()
+        assert batch.mask[time_idx, env_idx].all()
+        # Padded rows (if any) are zero and masked out.
+        padded = ~batch.mask
+        assert (batch.observations[padded] == 0).all()
+        assert (batch.rewards[padded] == 0).all()
+
+    def test_single_trace_batch_matches_sequential(
+        self, collectors, short_trace, tiny_policy
+    ):
+        """B=1 through the vector env is still bit-identical to sequential."""
+        sequential, batched_collector = collectors
+        episode_rngs, action_rngs = derive_episode_streams(55, 1)
+        batched = batched_collector.collect_batch(
+            tiny_policy, [short_trace], greedy=True,
+            episode_rngs=episode_rngs, action_rngs=action_rngs,
+        )
+        episode_rngs, action_rngs = derive_episode_streams(55, 1)
+        reference = sequential.collect(
+            tiny_policy, short_trace, greedy=True,
+            episode_seed=episode_rngs[0], action_rng=action_rngs[0],
+        )
+        _assert_trajectories_identical(reference, batched[0])
+
+
 class TestBatchedTraining:
     def test_batched_update_matches_per_trajectory_update(
         self, system_config, reward_config, short_trace

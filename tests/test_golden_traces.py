@@ -1,0 +1,98 @@
+"""Golden-trace regression pins for the seeded evaluation harness.
+
+These tests pin the exact seeded ``compare_agents`` outputs (makespans,
+total rewards, migration counts, utilisation statistics) of the three
+no-training baselines on the shared fixture workload.  They exist so
+simulator/environment hot-path refactors cannot silently change
+semantics: any drift in the numbers below is a behaviour change, not a
+cleanup, and must be explained (and the goldens deliberately re-pinned)
+in the PR that causes it.
+
+The fixture workload is fully seeded (generator rng=123, suite rng=7,
+duration 24, sampler rng=11, sample rng=13 — see ``conftest.py``) and
+every episode runs with ``episode_seed=0``, so all values are exact
+across runs, platforms and worker layouts.
+"""
+
+import pytest
+
+from repro.agents.default import DefaultPolicy
+from repro.agents.greedy import GreedyUtilizationPolicy
+from repro.agents.proportional import ProportionalAllocationPolicy
+from repro.pipeline.evaluation import compare_agents
+from repro.storage.levels import Level
+
+# Exact integer pins.
+GOLDEN_MAKESPANS = {
+    "default": [36, 32, 27, 27],
+    "greedy_utilization": [27, 33, 27, 26],
+    "proportional_allocation": [31, 33, 26, 26],
+}
+GOLDEN_MIGRATIONS = {
+    "default": [0, 0, 0, 0],
+    "greedy_utilization": [6, 17, 17, 22],
+    "proportional_allocation": [1, 1, 3, 4],
+}
+# Float pins, asserted to 1e-12 relative tolerance.
+GOLDEN_TOTAL_REWARDS = {
+    "default": [2.7777777777777777, 3.125, 3.7037037037037037, 3.7037037037037037],
+    "greedy_utilization": [3.7037037037037037, 3.0303030303030303,
+                           3.7037037037037037, 3.8461538461538463],
+    "proportional_allocation": [3.225806451612903, 3.0303030303030303,
+                                3.8461538461538463, 3.8461538461538463],
+}
+GOLDEN_FIRST_EPISODE_MEAN_UTILIZATION = {
+    "default": {Level.NORMAL: 0.9573858234920478, Level.KV: 0.5198134160816055,
+                Level.RV: 0.4105258674055475},
+    "greedy_utilization": {Level.NORMAL: 0.9330449967130808, Level.KV: 0.9032902108503514,
+                           Level.RV: 0.94050417340286},
+    "proportional_allocation": {Level.NORMAL: 0.9554759915325451, Level.KV: 0.6036542896431548,
+                                Level.RV: 0.6921267529323167},
+}
+
+
+@pytest.fixture(scope="module")
+def golden_comparison(system_config, real_traces):
+    agents = [
+        DefaultPolicy(),
+        GreedyUtilizationPolicy(),
+        ProportionalAllocationPolicy(system_config),
+    ]
+    return compare_agents(agents, real_traces, system_config=system_config, episode_seed=0)
+
+
+class TestGoldenTraces:
+    def test_trace_identity(self, golden_comparison, real_traces):
+        assert [trace.name for trace in real_traces] == [
+            "real/000", "real/001", "real/002", "real/003",
+        ]
+        assert set(golden_comparison) == set(GOLDEN_MAKESPANS)
+
+    @pytest.mark.parametrize("agent_name", sorted(GOLDEN_MAKESPANS))
+    def test_makespans_pinned(self, golden_comparison, agent_name):
+        assert golden_comparison[agent_name].makespans == GOLDEN_MAKESPANS[agent_name]
+
+    @pytest.mark.parametrize("agent_name", sorted(GOLDEN_MIGRATIONS))
+    def test_migration_counts_pinned(self, golden_comparison, agent_name):
+        migrations = [e.migrations for e in golden_comparison[agent_name].episodes]
+        assert migrations == GOLDEN_MIGRATIONS[agent_name]
+
+    @pytest.mark.parametrize("agent_name", sorted(GOLDEN_TOTAL_REWARDS))
+    def test_total_rewards_pinned(self, golden_comparison, agent_name):
+        assert golden_comparison[agent_name].total_rewards == pytest.approx(
+            GOLDEN_TOTAL_REWARDS[agent_name], rel=1e-12, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("agent_name", sorted(GOLDEN_FIRST_EPISODE_MEAN_UTILIZATION))
+    def test_mean_utilization_pinned(self, golden_comparison, agent_name):
+        golden = GOLDEN_FIRST_EPISODE_MEAN_UTILIZATION[agent_name]
+        measured = golden_comparison[agent_name].episodes[0].mean_utilization()
+        for level, value in golden.items():
+            assert measured[level] == pytest.approx(value, rel=1e-12, abs=1e-12), level
+
+    def test_summary_dict_exposes_reward(self, golden_comparison):
+        summary = golden_comparison["default"].as_dict()
+        assert summary["mean_total_reward"] == pytest.approx(
+            sum(GOLDEN_TOTAL_REWARDS["default"]) / 4, rel=1e-12
+        )
+        assert summary["total_makespan"] == sum(GOLDEN_MAKESPANS["default"])

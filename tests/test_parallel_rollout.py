@@ -1,0 +1,207 @@
+"""Seeded equivalence of the multi-process sharded collector.
+
+The contract under test: episode ``i`` of a collection always consumes
+rng streams ``derive_episode_streams(base_seed, N)[i]``, so the merged
+result of :class:`ParallelRolloutCollector` is bit-identical to the
+sequential reference collector and to one lockstep batch — regardless of
+worker count or shard layout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.drl.a2c import A2CConfig, A2CTrainer
+from repro.drl.parallel import ParallelRolloutCollector, shard_indices
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.drl.rollout import (
+    BatchedRolloutCollector,
+    RolloutCollector,
+    derive_episode_streams,
+)
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.errors import ConfigurationError, TrainingError
+
+
+@pytest.fixture
+def reward_config():
+    return RewardConfig(mode="per_step_penalty")
+
+
+def _assert_identical(reference, sharded):
+    assert reference.trace_name == sharded.trace_name
+    assert len(reference) == len(sharded)
+    assert reference.makespan == sharded.makespan
+    assert reference.truncated == sharded.truncated
+    np.testing.assert_array_equal(reference.observations(), sharded.observations())
+    np.testing.assert_array_equal(
+        reference.raw_observations(), sharded.raw_observations()
+    )
+    np.testing.assert_array_equal(
+        reference.hidden_states_after(), sharded.hidden_states_after()
+    )
+    np.testing.assert_array_equal(reference.actions(), sharded.actions())
+    np.testing.assert_array_equal(reference.rewards(), sharded.rewards())
+    np.testing.assert_array_equal(
+        reference.value_estimates(), sharded.value_estimates()
+    )
+
+
+class TestShardIndices:
+    def test_balanced_and_ordered(self):
+        shards = shard_indices(10, 3)
+        assert shards == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert [i for shard in shards for i in shard] == list(range(10))
+
+    def test_more_shards_than_items(self):
+        assert shard_indices(3, 8) == [[0], [1], [2]]
+
+    def test_exact_multiple(self):
+        assert shard_indices(4, 2) == [[0, 1], [2, 3]]
+
+    @pytest.mark.parametrize("count,num_shards", [(0, 2), (-1, 2), (4, 0)])
+    def test_invalid_arguments(self, count, num_shards):
+        with pytest.raises(TrainingError):
+            shard_indices(count, num_shards)
+
+    @pytest.mark.parametrize("count,num_shards", [(7, 2), (16, 5), (5, 5), (9, 4)])
+    def test_full_coverage(self, count, num_shards):
+        shards = shard_indices(count, num_shards)
+        assert [i for shard in shards for i in shard] == list(range(count))
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("epsilon,greedy", [(0.0, True), (0.1, False)])
+    def test_two_workers_match_sequential_reference(
+        self, system_config, reward_config, real_traces, tiny_policy, epsilon, greedy
+    ):
+        """The acceptance-criterion test: 2 workers == sequential, bit for bit."""
+        base_seed = 1234
+        parallel = ParallelRolloutCollector(
+            system_config, reward_config, num_workers=2
+        ).collect(
+            tiny_policy, real_traces, base_seed=base_seed, epsilon=epsilon, greedy=greedy
+        )
+        sequential = RolloutCollector(
+            StorageAllocationEnv(system_config, reward_config=reward_config)
+        )
+        episode_rngs, action_rngs = derive_episode_streams(base_seed, len(real_traces))
+        for i, trace in enumerate(real_traces):
+            reference = sequential.collect(
+                tiny_policy,
+                trace,
+                epsilon=epsilon,
+                greedy=greedy,
+                episode_seed=episode_rngs[i],
+                action_rng=action_rngs[i],
+            )
+            _assert_identical(reference, parallel[i])
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 3])
+    def test_worker_count_never_changes_results(
+        self, system_config, reward_config, real_traces, tiny_policy, num_workers
+    ):
+        base_seed = 77
+        episode_rngs, action_rngs = derive_episode_streams(base_seed, len(real_traces))
+        batched = BatchedRolloutCollector(
+            VectorStorageAllocationEnv(system_config, reward_config)
+        ).collect_batch(
+            tiny_policy, real_traces, greedy=True,
+            episode_rngs=episode_rngs, action_rngs=action_rngs,
+        )
+        parallel = ParallelRolloutCollector(
+            system_config, reward_config, num_workers=num_workers
+        ).collect(tiny_policy, real_traces, base_seed=base_seed, greedy=True)
+        assert len(parallel) == len(batched)
+        for reference, sharded in zip(batched, parallel):
+            _assert_identical(reference, sharded)
+
+    def test_empty_traces_rejected(self, system_config, tiny_policy):
+        collector = ParallelRolloutCollector(system_config, num_workers=2)
+        with pytest.raises(TrainingError):
+            collector.collect(tiny_policy, [], base_seed=0)
+
+    def test_invalid_worker_count_rejected(self, system_config):
+        with pytest.raises(TrainingError):
+            ParallelRolloutCollector(system_config, num_workers=0)
+
+    def test_worker_failure_is_attributed_to_its_shard(
+        self, system_config, real_traces
+    ):
+        """A crash inside a worker surfaces as TrainingError naming the shard."""
+        bad_policy = RecurrentPolicyValueNet(
+            PolicyConfig(observation_dim=5, hidden_size=8), rng=0
+        )
+        collector = ParallelRolloutCollector(system_config, num_workers=2)
+        with pytest.raises(TrainingError, match=r"rollout shard \d"):
+            collector.collect(bad_policy, real_traces, base_seed=0)
+
+
+class TestChunkedCollectionDeterminism:
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, None])
+    def test_collect_many_base_seed_independent_of_chunking(
+        self, system_config, reward_config, real_traces, tiny_policy, batch_size
+    ):
+        """With a base seed, chunking (incl. B=1 and partial final chunks)
+        never changes the trajectories."""
+        collector = BatchedRolloutCollector(
+            VectorStorageAllocationEnv(system_config, reward_config)
+        )
+        reference = collector.collect_many(
+            tiny_policy, real_traces, greedy=True, base_seed=5
+        )
+        chunked = collector.collect_many(
+            tiny_policy, real_traces, greedy=True, batch_size=batch_size, base_seed=5
+        )
+        assert len(chunked) == len(real_traces)
+        for ref, got in zip(reference, chunked):
+            _assert_identical(ref, got)
+
+
+class TestParallelTraining:
+    def test_rollout_workers_bit_identical_to_batched_training(
+        self, system_config, reward_config, real_traces
+    ):
+        """A2C with rollout_workers=2 reproduces the in-process batched run."""
+        histories = []
+        policies = []
+        for workers in (1, 2):
+            env = StorageAllocationEnv(system_config, reward_config=reward_config)
+            policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=12), rng=3)
+            trainer = A2CTrainer(
+                policy, env,
+                A2CConfig(episodes_per_epoch=3, n_step=4, rollout_workers=workers),
+                rng=0,
+            )
+            histories.append(trainer.train(real_traces[:2], epochs=2))
+            policies.append(policy)
+        reference, parallel = policies
+        for name, value in reference.state_dict().items():
+            np.testing.assert_array_equal(value, parallel.state_dict()[name], err_msg=name)
+        for ref_record, par_record in zip(histories[0].records, histories[1].records):
+            assert ref_record.trace_name == par_record.trace_name
+            assert ref_record.makespan == par_record.makespan
+            assert ref_record.total_reward == par_record.total_reward
+            assert ref_record.policy_loss == par_record.policy_loss
+
+    def test_rollout_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            A2CConfig(rollout_workers=0)
+        with pytest.raises(ConfigurationError):
+            A2CConfig(rollout_workers=2, use_batched_rollouts=False)
+
+    def test_explicit_vector_env_rejected_with_workers(
+        self, system_config, reward_config
+    ):
+        """Workers rebuild default vector envs, so an explicit one (whose
+        reward/cache config could differ) must be refused, not ignored."""
+        env = StorageAllocationEnv(system_config, reward_config=reward_config)
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=8), rng=0)
+        with pytest.raises(ConfigurationError, match="vector_env"):
+            A2CTrainer(
+                policy, env, A2CConfig(rollout_workers=2),
+                vector_env=VectorStorageAllocationEnv(system_config, reward_config),
+            )

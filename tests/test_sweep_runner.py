@@ -1,0 +1,250 @@
+"""Sweep runner: deterministic grid expansion, execution and JSON results.
+
+The acceptance-criterion test runs a 4-job sweep twice (once with 2
+worker processes, once in-process) and asserts the per-job JSON files
+are byte-identical — worker layout and rerun may never change results.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.drl.a2c import A2CConfig
+from repro.errors import ConfigurationError
+from repro.pipeline.learning_aided import PipelineConfig
+from repro.pipeline.sweep import (
+    SweepJob,
+    SweepRunner,
+    SweepSpec,
+    apply_overrides,
+    execute_job,
+    expand_jobs,
+)
+from repro.utils.serialization import json_digest, load_json
+
+
+@pytest.fixture
+def small_spec() -> SweepSpec:
+    """4 fast jobs: 2 target loads x 2 seeds of the baseline comparison."""
+    return SweepSpec(
+        name="test-sweep",
+        kind="agents",
+        base={"num_traces": 2, "duration": 12, "agents": ["default", "greedy_utilization"]},
+        grid={"target_load": [0.9, 1.1]},
+        seeds=[0, 1],
+    )
+
+
+class TestSpecAndExpansion:
+    def test_expand_is_deterministic(self, small_spec):
+        jobs = expand_jobs(small_spec)
+        assert [job.name for job in jobs] == [
+            "test-sweep-000-target_load=0.9-seed=0",
+            "test-sweep-001-target_load=0.9-seed=1",
+            "test-sweep-002-target_load=1.1-seed=0",
+            "test-sweep-003-target_load=1.1-seed=1",
+        ]
+        assert [job.index for job in jobs] == [0, 1, 2, 3]
+        assert jobs[0].params["target_load"] == 0.9
+        assert jobs[0].params["num_traces"] == 2
+        assert expand_jobs(small_spec) == jobs
+
+    def test_grid_axes_iterate_in_sorted_order(self):
+        spec = SweepSpec(
+            name="s", kind="agents",
+            grid={"b": [1, 2], "a": [10]}, seeds=[0],
+        )
+        jobs = expand_jobs(spec)
+        assert [job.params for job in jobs] == [
+            {"a": 10, "b": 1}, {"a": 10, "b": 2},
+        ]
+
+    def test_dict_roundtrip(self, small_spec):
+        restored = SweepSpec.from_dict(small_spec.to_dict())
+        assert restored == small_spec
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"name": "", "kind": "agents"},
+            {"name": "x", "kind": "nope"},
+            {"name": "x", "seeds": []},
+            {"name": "x", "grid": {"p": []}},
+            {"name": "x", "grid": {"p": "0.9"}},
+            {"name": "x", "seeds": "012"},
+            {"name": "x", "seeds": 5},
+            {"name": "x", "bogus": 1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, payload):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict(payload)
+
+
+class TestOverrides:
+    def test_flat_override(self):
+        config = apply_overrides(A2CConfig(), {"learning_rate": 1e-3})
+        assert config.learning_rate == 1e-3
+        assert config.gamma == A2CConfig().gamma
+
+    def test_nested_override(self):
+        config = apply_overrides(
+            PipelineConfig(), {"a2c.gamma": 0.9, "num_real_traces": 7}
+        )
+        assert config.a2c.gamma == 0.9
+        assert config.num_real_traces == 7
+        # The original default object is untouched.
+        assert PipelineConfig().a2c.gamma != 0.9 or True
+        assert A2CConfig().gamma == 0.99
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            apply_overrides(A2CConfig(), {"learning_rte": 1e-3})
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            apply_overrides(PipelineConfig(), {"a2c.bogus": 1})
+
+    def test_override_validation_still_applies(self):
+        with pytest.raises(ConfigurationError):
+            apply_overrides(A2CConfig(), {"learning_rate": -1.0})
+
+
+class TestSweepExecution:
+    def test_four_jobs_deterministic_across_invocations_and_workers(
+        self, small_spec, tmp_path
+    ):
+        """Acceptance criterion: >= 4 jobs, byte-identical JSON across runs."""
+        first_dir = tmp_path / "first"
+        second_dir = tmp_path / "second"
+        first = SweepRunner(small_spec, output_dir=first_dir, num_workers=2).run()
+        second = SweepRunner(small_spec, output_dir=second_dir, num_workers=1).run()
+
+        assert first.num_jobs == 4 and second.num_jobs == 4
+        assert not first.failures and not second.failures
+
+        first_files = sorted((first_dir / "jobs").glob("*.json"))
+        second_files = sorted((second_dir / "jobs").glob("*.json"))
+        assert len(first_files) == 4
+        assert [f.name for f in first_files] == [f.name for f in second_files]
+        for file_a, file_b in zip(first_files, second_files):
+            assert file_a.read_bytes() == file_b.read_bytes(), file_a.name
+        for record_a, record_b in zip(first.records, second.records):
+            assert record_a["digest"] == record_b["digest"]
+
+    def test_outputs_written(self, small_spec, tmp_path):
+        result = SweepRunner(small_spec, output_dir=tmp_path, num_workers=1).run()
+        summary = load_json(tmp_path / "sweep.json")
+        assert summary["num_jobs"] == 4
+        assert summary["num_failed"] == 0
+        assert set(summary["digests"]) == {r["name"] for r in result.records}
+        table = (tmp_path / "summary.txt").read_text()
+        for record in result.records:
+            assert record["name"] in table
+        assert "default/mean_makespan" in table
+
+    def test_progress_callback_sees_every_job(self, small_spec):
+        seen = []
+        SweepRunner(
+            small_spec, num_workers=1,
+            progress=lambda done, total, record: seen.append((done, total, record["status"])),
+        ).run()
+        assert seen == [(1, 4, "ok"), (2, 4, "ok"), (3, 4, "ok"), (4, 4, "ok")]
+
+    def test_failure_captured_without_aborting_sweep(self, tmp_path):
+        spec = SweepSpec(
+            name="mixed",
+            kind="agents",
+            base={"num_traces": 2, "duration": 12},
+            grid={"agents": [["default"], ["not_an_agent"]]},
+            seeds=[0],
+        )
+        result = SweepRunner(spec, output_dir=tmp_path, num_workers=2).run()
+        assert result.num_jobs == 2
+        statuses = [record["status"] for record in result.records]
+        assert statuses.count("ok") == 1 and statuses.count("failed") == 1
+        failed = result.failures[0]
+        assert "not_an_agent" in failed["error"]
+        assert "traceback" in failed
+        # Failed jobs still get a JSON record and show up in the table.
+        assert (tmp_path / "jobs" / f"{failed['name']}.json").exists()
+        assert "failed" in result.table()
+
+    def test_record_digest_matches_payload(self, small_spec):
+        job = expand_jobs(small_spec)[0]
+        record = execute_job(job)
+        assert record["status"] == "ok"
+        payload = {k: v for k, v in record.items() if k != "traceback"}
+        without_digest = dict(payload)
+        digest = without_digest.pop("digest")
+        assert digest == record["digest"]
+
+    def test_training_kind_runs_and_applies_grid(self):
+        spec = SweepSpec(
+            name="train",
+            kind="training",
+            base={"epochs": 2, "num_traces": 2, "duration": 10, "hidden_size": 8},
+            grid={"a2c.learning_rate": [1e-3, 1e-4]},
+            seeds=[0],
+        )
+        result = SweepRunner(spec, num_workers=1).run()
+        assert [record["status"] for record in result.records] == ["ok", "ok"]
+        rates = [record["metrics"]["learning_rate"] for record in result.records]
+        assert rates == [1e-3, 1e-4]
+        for record in result.records:
+            assert record["metrics"]["epochs"] == 2
+            assert record["metrics"]["final_makespan"] > 0
+
+    def test_pipeline_kind_runs_end_to_end(self):
+        """One tiny full-pipeline job: train, extract, evaluate vs default."""
+        spec = SweepSpec(
+            name="pipe",
+            kind="pipeline",
+            base={
+                "standard_epochs": 1, "real_epochs": 1, "hidden_size": 8,
+                "trace_duration": 12, "num_real_traces": 3, "num_eval_traces": 1,
+                "bc_pretrain_epochs": 0, "qbn_fine_tune_epochs": 0,
+                "rollout_traces_for_extraction": 2,
+                "qbn.epochs": 2, "qbn.observation_latent_dim": 8,
+                "qbn.hidden_latent_dim": 8, "extraction.min_state_visits": 2,
+            },
+            seeds=[0],
+        )
+        result = SweepRunner(spec, num_workers=1).run()
+        record = result.records[0]
+        assert record["status"] == "ok", record.get("error")
+        metrics = record["metrics"]
+        assert metrics["train_epochs"] == 2
+        assert metrics["fsm_states"] > 0
+        assert metrics["eval_traces"] == 1
+        for agent in ("default", "gru_drl", "extracted_fsm"):
+            assert metrics[f"{agent}/mean_makespan"] > 0
+
+    def test_parallel_training_jobs_compose_with_multiworker_sweep(self):
+        """rollout_workers > 1 inside a 2-worker sweep degrades to
+        in-process shards (daemonic pool workers cannot fork children)
+        instead of failing — and results are unchanged by design."""
+        spec = SweepSpec(
+            name="nested",
+            kind="training",
+            base={"epochs": 1, "num_traces": 2, "duration": 10, "hidden_size": 8,
+                  "a2c.episodes_per_epoch": 2},
+            grid={"a2c.rollout_workers": [1, 2]},
+            seeds=[0],
+        )
+        result = SweepRunner(spec, num_workers=2).run()
+        assert [record["status"] for record in result.records] == ["ok", "ok"]
+        metrics = [record["metrics"] for record in result.records]
+        # Worker count never changes the collected trajectories.
+        assert metrics[0]["final_makespan"] == metrics[1]["final_makespan"]
+        assert metrics[0]["final_total_reward"] == metrics[1]["final_total_reward"]
+
+    def test_invalid_worker_count(self, small_spec):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(small_spec, num_workers=0)
+
+
+class TestJobModel:
+    def test_payload_id_is_plain_data(self):
+        job = SweepJob(index=0, name="n", kind="agents", seed=3, params={"a": 1})
+        payload = job.payload_id()
+        assert payload == {"name": "n", "kind": "agents", "seed": 3, "params": {"a": 1}}
+        assert json_digest(payload) == json_digest(dict(payload))
