@@ -1,12 +1,21 @@
-"""Micro-benchmark: sequential vs batched (B=16) rollout collection.
+"""Micro-benchmark: sequential vs batched rollout collection.
 
 Measures steps/second of the sequential reference collector against the
-vectorized lockstep collector on the same 16 sampled traces with the
+vectorized lockstep collector on the same sampled traces with the
 paper-scale GRU-128 policy, prints a JSON summary, and asserts the
-batched path keeps a clear lead.  The headline number on an idle
-machine is >= 3x (recorded in the JSON); the hard assertion defaults to
-a regression floor so a noisy CI worker does not flake the suite, and
-can be tightened via ROLLOUT_BENCH_MIN_SPEEDUP.
+batched path keeps a clear lead.  The hard assertion defaults to a
+regression floor so a noisy CI worker does not flake the suite, and can
+be tightened via ROLLOUT_BENCH_MIN_SPEEDUP.
+
+Knobs (environment variables):
+
+* ``ROLLOUT_BENCH_BATCH`` — batch size B (default 16, the number the
+  perf trajectory tracks); the CI benchmark-smoke job runs a small B.
+* ``ROLLOUT_BENCH_ROUNDS`` — measurement rounds, best-of (default 5).
+* ``BENCH_OUTPUT_DIR`` — when set, the JSON summary is also written to
+  ``$BENCH_OUTPUT_DIR/BENCH_rollout_throughput.json`` so CI can upload
+  it as an artifact and the repo can accumulate perf evidence under
+  ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 
 from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
 from repro.drl.rollout import BatchedRolloutCollector, RolloutCollector
@@ -24,11 +34,11 @@ from repro.storage.simulator import StorageSystemConfig
 from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
 from repro.workloads.sampler import RealTraceSampler
 
-BATCH_SIZE = 16
-ROUNDS = 3
+BATCH_SIZE = int(os.environ.get("ROLLOUT_BENCH_BATCH", "16"))
+ROUNDS = int(os.environ.get("ROLLOUT_BENCH_ROUNDS", "5"))
 # Hard floor: batched collection slower than sequential is a real
 # regression even on a loaded machine.  Shared CI runners are too noisy
-# for the ~3.5x headline (the JSON records the measured value); tighten
+# for the headline number (the JSON records the measured value); tighten
 # locally with e.g. ROLLOUT_BENCH_MIN_SPEEDUP=3.
 MIN_ASSERTED_SPEEDUP = float(os.environ.get("ROLLOUT_BENCH_MIN_SPEEDUP", "1.0"))
 
@@ -89,5 +99,12 @@ def test_bench_rollout_throughput(tmp_path):
     print()
     print(json.dumps(summary, indent=2))
     (tmp_path / "rollout_throughput.json").write_text(json.dumps(summary, indent=2))
+    output_dir = os.environ.get("BENCH_OUTPUT_DIR")
+    if output_dir:
+        target = Path(output_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        (target / "BENCH_rollout_throughput.json").write_text(
+            json.dumps(summary, indent=2) + "\n"
+        )
 
     assert best_batched / best_sequential >= MIN_ASSERTED_SPEEDUP, summary

@@ -42,6 +42,9 @@ def main() -> None:
                         help="worker processes (1 = in-process)")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory for per-job JSON + summary (default: none)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip jobs whose digest-verified JSON already "
+                             "exists in --output (requires --output)")
     args = parser.parse_args()
 
     spec = SweepSpec.from_dict(load_json(args.spec)) if args.spec else demo_spec()
@@ -50,13 +53,14 @@ def main() -> None:
         print(f"[{done}/{total}] {record['name']}: {record['status']}")
 
     runner = SweepRunner(
-        spec, output_dir=args.output, num_workers=args.workers, progress=progress
+        spec, output_dir=args.output, num_workers=args.workers, progress=progress,
+        resume=args.resume,
     )
     result = runner.run()
     print()
     print(result.table())
     print(f"\n{result.num_jobs} jobs, {len(result.failures)} failed, "
-          f"{result.wall_time_s:.1f}s wall")
+          f"{result.num_resumed} resumed, {result.wall_time_s:.1f}s wall")
     if args.output:
         print(f"results written to {args.output}")
     if result.failures:

@@ -174,10 +174,15 @@ class ParallelRolloutCollector:
             episode_rngs, action_rngs = derive_episode_streams(base_seed, len(traces))
             BatchedRolloutCollector(...).collect_batch(
                 policy, traces, episode_rngs=episode_rngs, action_rngs=action_rngs)
+
+        An empty trace list yields an empty result (no worker shards are
+        created), and fewer episodes than workers shrinks the shard
+        count — shards are never empty, so the merge cannot be skewed by
+        zero-episode workers.
         """
         traces = list(traces)
         if not traces:
-            raise TrainingError("collect() needs at least one trace")
+            return []
         jobs = self._make_jobs(policy, traces, base_seed, epsilon, greedy)
 
         # Daemonic workers (e.g. a SweepRunner job process) cannot spawn

@@ -183,8 +183,11 @@ class RecurrentPolicyValueNet(Module):
         index order) or one generator per environment; per-environment
         generators are what makes a batched rollout reproduce the
         sequential per-trace rng streams exactly.  Rows where ``active``
-        is False are still computed (the matmul is batched anyway) but
-        consume no randomness and report the no-op action 0.
+        is False consume no randomness, report the no-op action 0, keep
+        their input hidden state, and are skipped by the forward pass —
+        their log-prob/probability/value rows read zero.  (Row-wise
+        batch-size stability of the inference kernels is what makes the
+        active-subset forward bit-identical to a full-batch one.)
         """
         observations = np.asarray(observations, dtype=np.float64)
         hiddens = np.asarray(hiddens, dtype=np.float64)
@@ -198,25 +201,77 @@ class RecurrentPolicyValueNet(Module):
         else:
             shared = new_rng(rngs)
             row_rngs = [shared] * batch
+
         if active is None:
-            active = np.ones(batch, dtype=bool)
+            all_active = True
         else:
             active = np.asarray(active, dtype=bool)
+            all_active = bool(active.all())
+        if all_active:
+            active_rows = None
+            sub_observations, sub_hiddens = observations, hiddens
+            sub_rngs = row_rngs
+        else:
+            active_rows = np.nonzero(active)[0]
+            sub_observations = observations[active_rows]
+            sub_hiddens = hiddens[active_rows]
+            sub_rngs = [row_rngs[i] for i in active_rows.tolist()]
 
-        logits, values, next_hiddens = self.forward_np(observations, hiddens)
-        log_probs = log_softmax_np(logits, axis=-1)
-        probs = np.exp(log_probs)
-        probs = probs / probs.sum(axis=-1, keepdims=True)
         actions = np.zeros(batch, dtype=int)
+        if sub_observations.shape[0] == 0:
+            zeros = np.zeros((batch, self.config.num_actions))
+            return BatchedPolicyStepOutput(
+                actions=actions,
+                log_probs=zeros,
+                probabilities=zeros.copy(),
+                values=np.zeros(batch),
+                hidden_states=np.array(hiddens),
+            )
+
+        sub_logits, sub_values, sub_next = self.forward_np(sub_observations, sub_hiddens)
+        sub_log_probs = log_softmax_np(sub_logits, axis=-1)
+        sub_probs = np.exp(sub_log_probs)
+        sub_probs = sub_probs / sub_probs.sum(axis=-1, keepdims=True)
         # One batched cumulative sum serves every row's inverse-CDF draw
         # (a row of the axis-1 cumsum is identical to cumsum of the row).
-        cdfs = None if greedy else np.cumsum(probs, axis=-1)
-        for i, is_active in enumerate(active.tolist()):
-            if is_active:
-                actions[i] = self._pick_action(
-                    probs[i], row_rngs[i], epsilon, greedy,
-                    cdf=None if cdfs is None else cdfs[i],
+        cdfs = None if greedy else np.cumsum(sub_probs, axis=-1)
+        if greedy and epsilon <= 0.0:
+            # Row-wise argmax matches the per-row pick and no randomness
+            # is consumed, so the whole batch resolves in one call.
+            sub_actions = np.argmax(sub_probs, axis=1)
+        elif not greedy and epsilon <= 0.0:
+            # One uniform draw per active row (same order, same stream as
+            # the scalar path), inverted through the batched CDFs: the
+            # count of cdf entries <= draw equals searchsorted(side="right").
+            draws = np.empty(len(sub_rngs))
+            for k, rng in enumerate(sub_rngs):
+                draws[k] = rng.random()
+            draws *= cdfs[:, -1]
+            picked = (cdfs <= draws[:, None]).sum(axis=1)
+            sub_actions = np.minimum(picked, self.config.num_actions - 1)
+        else:
+            sub_actions = np.zeros(len(sub_rngs), dtype=int)
+            for k, rng in enumerate(sub_rngs):
+                sub_actions[k] = self._pick_action(
+                    sub_probs[k], rng, epsilon, greedy,
+                    cdf=None if cdfs is None else cdfs[k],
                 )
+
+        if all_active:
+            actions = np.asarray(sub_actions, dtype=int)
+            log_probs, probs, values, next_hiddens = (
+                sub_log_probs, sub_probs, sub_values, sub_next,
+            )
+        else:
+            actions[active_rows] = sub_actions
+            log_probs = np.zeros((batch, self.config.num_actions))
+            probs = np.zeros((batch, self.config.num_actions))
+            values = np.zeros(batch)
+            next_hiddens = np.array(hiddens)
+            log_probs[active_rows] = sub_log_probs
+            probs[active_rows] = sub_probs
+            values[active_rows] = sub_values
+            next_hiddens[active_rows] = sub_next
         return BatchedPolicyStepOutput(
             actions=actions,
             log_probs=log_probs,

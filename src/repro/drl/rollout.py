@@ -377,25 +377,39 @@ class BatchedRolloutCollector:
                 active=active,
             )
             result = venv.step(output.actions)
+            # Batch-convert per-slot scalars and pre-split the row views
+            # once per interval; the per-transition reads are then plain
+            # python list indexing instead of numpy item lookups.
+            actions_list = output.actions.tolist()
+            values_list = output.values.tolist()
+            rewards_list = result.rewards.tolist()
+            dones_list = result.dones.tolist()
+            normalized_rows = list(normalized)
+            raw_rows = list(raw)
+            hidden_rows = list(hidden)
+            hidden_after_rows = list(output.hidden_states)
+            mask_rows = list(masks)
             for i in np.nonzero(active)[0].tolist():
                 trajectories[i].transitions.append(
                     Transition(
-                        observation=normalized[i],
-                        raw_observation=raw[i],
-                        hidden_before=hidden[i],
-                        hidden_after=output.hidden_states[i],
-                        action=int(output.actions[i]),
-                        reward=float(result.rewards[i]),
-                        value_estimate=float(output.values[i]),
-                        done=bool(result.dones[i]),
-                        valid_action_mask=masks[i],
+                        observation=normalized_rows[i],
+                        raw_observation=raw_rows[i],
+                        hidden_before=hidden_rows[i],
+                        hidden_after=hidden_after_rows[i],
+                        action=actions_list[i],
+                        reward=rewards_list[i],
+                        value_estimate=values_list[i],
+                        done=dones_list[i],
+                        valid_action_mask=mask_rows[i],
                     )
                 )
                 if result.newly_done[i]:
                     trajectories[i].makespan = int(result.makespans[i])
                     trajectories[i].truncated = bool(result.truncated[i])
-            # Freeze hidden states of finished slots; advance the rest.
-            hidden = np.where(active[:, None], output.hidden_states, hidden)
+            # act_batch already freezes finished slots' hidden rows (they
+            # keep the input hidden state), so the output advances active
+            # slots and preserves the rest.
+            hidden = output.hidden_states
             normalized = result.observations
             raw = result.raw_observations
             active = ~result.dones

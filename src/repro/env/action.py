@@ -57,30 +57,46 @@ class ActionSpace:
         the three per-level counts instead of seven per-action queries —
         this sits on the rollout hot path.
         """
+        return self.valid_mask_from_counts(
+            pool.counts_vector(), pool.min_cores_per_level
+        )
+
+    def valid_mask_from_counts(self, counts, min_cores_per_level: int) -> np.ndarray:
+        """Legality mask from a 3-vector of per-level core counts.
+
+        Array-form entry point for the struct-of-arrays simulator core,
+        where counts are already a row of the B-major state and no
+        :class:`CorePool` object exists.
+        """
         mask = np.ones(NUM_ACTIONS, dtype=bool)
-        spare = {
-            level: pool.count(level) > pool.min_cores_per_level
-            for level in set(self._migration_sources)
-        }
-        mask[self._migration_indices] = [spare[s] for s in self._migration_sources]
+        counts = np.asarray(counts)
+        mask[self._migration_indices] = (
+            counts[self._source_level_columns] > min_cores_per_level
+        )
         return mask
 
     def valid_mask_batch(self, pools: Sequence[CorePool]) -> np.ndarray:
         """(B, num_actions) legality masks for a batch of core pools.
 
-        Row ``b`` equals ``valid_mask(pools[b])``; the per-level spare
-        flags are gathered once and scattered into all six migration
-        columns with a single vectorized assignment.
+        Row ``b`` equals ``valid_mask(pools[b])``.
         """
-        from repro.storage.levels import LEVELS
+        counts = np.array([pool.counts_vector() for pool in pools])
+        min_cores = pools[0].min_cores_per_level if pools else 1
+        return self.valid_mask_batch_from_counts(counts, min_cores)
 
-        batch = len(pools)
-        spare = np.empty((batch, len(LEVELS)), dtype=bool)
-        for b, pool in enumerate(pools):
-            for j, level in enumerate(LEVELS):
-                spare[b, j] = pool.count(level) > pool.min_cores_per_level
-        masks = np.ones((batch, NUM_ACTIONS), dtype=bool)
-        masks[:, self._migration_indices] = spare[:, self._source_level_columns]
+    def valid_mask_batch_from_counts(
+        self, counts: np.ndarray, min_cores_per_level: int
+    ) -> np.ndarray:
+        """(B, num_actions) legality masks from a (B, 3) counts matrix.
+
+        The per-level spare flags are computed once and scattered into
+        all six migration columns with a single vectorized assignment.
+        """
+        counts = np.asarray(counts)
+        masks = np.ones((counts.shape[0], NUM_ACTIONS), dtype=bool)
+        masks[:, self._migration_indices] = (
+            counts[:, self._source_level_columns] > min_cores_per_level
+        )
         return masks
 
     def names(self) -> List[str]:

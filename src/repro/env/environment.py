@@ -145,7 +145,10 @@ class StorageAllocationEnv:
         return self.simulator.episode_metrics
 
     def valid_action_mask(self) -> np.ndarray:
-        return self.action_space.valid_mask(self.simulator.core_pool)
+        return self.action_space.valid_mask_from_counts(
+            self.simulator.core_counts_vector(),
+            self.system_config.min_cores_per_level,
+        )
 
     def _build_observation(self) -> Observation:
         return self.observation_encoder.build(

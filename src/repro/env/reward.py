@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.storage.metrics import IntervalMetrics, StepValues
 
@@ -120,6 +122,55 @@ def compute_step_reward_from_values(config: RewardConfig, values: StepValues) ->
             pressure = max(pressure, backlog / max(capacity, 1e-9))
         return -config.step_penalty - config.balance_scale * pressure
     raise ConfigurationError(f"unknown reward mode {config.mode!r}")
+
+
+def compute_step_rewards_batch(
+    config: RewardConfig,
+    incoming_kb: np.ndarray,
+    processed_kb: np.ndarray,
+    capacity_kb: np.ndarray,
+    utilization: np.ndarray,
+    backlog_kb: np.ndarray,
+) -> np.ndarray:
+    """Per-interval rewards for a whole batch of per-level ``(M, 3)`` arrays.
+
+    Row ``i`` is bit-identical to :func:`compute_step_reward_from_values`
+    on the corresponding :class:`StepValues`: every reduction keeps the
+    scalar implementation's left-to-right accumulation order (a plain
+    Python ``sum`` over a 3-tuple is ``(v0 + v1) + v2``), so the
+    vectorized environment can score all slots in one pass without
+    perturbing a single reward.
+    """
+    batch = backlog_kb.shape[0]
+    if config.mode == "inverse_makespan":
+        return np.zeros(batch)
+    if config.mode == "per_step_penalty":
+        return np.full(batch, -config.step_penalty)
+    if config.mode == "backlog_penalty":
+        total = (backlog_kb[:, 0] + backlog_kb[:, 1]) + backlog_kb[:, 2]
+        return -config.step_penalty - config.backlog_scale * total
+    if config.mode == "backlog_delta":
+        incoming = (incoming_kb[:, 0] + incoming_kb[:, 1]) + incoming_kb[:, 2]
+        processed = (processed_kb[:, 0] + processed_kb[:, 1]) + processed_kb[:, 2]
+        return -config.step_penalty - config.backlog_scale * (incoming - processed)
+    if config.mode == "utilization_balance":
+        imbalance = utilization.max(axis=1) - utilization.min(axis=1)
+        return -config.step_penalty - config.balance_scale * imbalance
+    if config.mode == "bottleneck_pressure":
+        ratios = backlog_kb / np.maximum(capacity_kb, 1e-9)
+        pressure = np.maximum(0.0, ratios.max(axis=1))
+        return -config.step_penalty - config.balance_scale * pressure
+    raise ConfigurationError(f"unknown reward mode {config.mode!r}")
+
+
+def compute_terminal_rewards_batch(config: RewardConfig, makespans: np.ndarray) -> np.ndarray:
+    """Episode-end rewards for a batch of makespans (see scalar variant)."""
+    makespans = np.asarray(makespans)
+    if (makespans <= 0).any():
+        raise ConfigurationError(f"makespans must be positive, got {makespans}")
+    if config.mode == "inverse_makespan":
+        return config.makespan_scale / makespans.astype(float)
+    return np.zeros(makespans.shape[0])
 
 
 def compute_terminal_reward(config: RewardConfig, makespan: int) -> float:

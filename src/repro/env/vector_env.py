@@ -1,19 +1,22 @@
 """Vectorized lockstep execution of N independent storage-allocation episodes.
 
-:class:`VectorStorageAllocationEnv` owns one :class:`StorageSimulator` per
-slot and advances all unfinished episodes by one interval per
-:meth:`step` call, exposing batched ``(B, obs_dim)`` observation matrices
-so that one batched policy forward pass can serve every environment.
+:class:`VectorStorageAllocationEnv` owns one shared
+:class:`~repro.storage.vector_state.VectorSimulatorState` — the
+struct-of-arrays simulator core that holds all B environments' level
+backlogs, core residency/cooldowns and interval accumulators as
+``(B, ...)`` arrays — and advances every unfinished episode by one
+interval per :meth:`step` call with array kernels, exposing batched
+``(B, obs_dim)`` observation matrices so that one batched policy forward
+pass can serve every environment.
 
 Design contract (relied on by the batched rollout collector and its
 equivalence tests): slot ``i`` of a vector episode is **bit-identical**
 to a sequential :class:`~repro.env.environment.StorageAllocationEnv`
-episode on the same trace with the same rng stream.  Everything the
-environment computes per slot therefore reuses the sequential
-components (the simulator itself, the reward functions, the observation
-normalisation constants); only the *assembly* is batched, and the
-assembly is restricted to elementwise operations whose rows cannot
-depend on the batch size.
+episode on the same trace with the same rng stream.  The scalar
+environment's simulator is the B=1 view of the same simulator core, and
+every batched assembly step (observation rows, normalisation, rewards)
+is restricted to elementwise operations whose rows cannot depend on the
+batch size.
 
 Finished episodes are auto-masked: their slots stop consuming actions
 and randomness, report zero reward, and keep returning their final
@@ -32,18 +35,22 @@ from repro.env.action import ActionSpace
 from repro.env.observation import OBSERVATION_DIM, ObservationEncoder
 from repro.env.reward import (
     RewardConfig,
-    compute_step_reward_from_values,
-    compute_terminal_reward,
+    compute_step_rewards_batch,
+    compute_terminal_rewards_batch,
 )
 from repro.errors import EnvironmentError_
 from repro.storage.cache import CacheModel
+from repro.storage.iorequest import NUM_IO_TYPES
 from repro.storage.levels import LEVELS
 from repro.storage.metrics import EpisodeMetrics
-from repro.storage.simulator import StorageSimulator, StorageSystemConfig
-from repro.storage.workload import WorkloadTrace
+from repro.storage.simulator import StorageSystemConfig
+from repro.storage.vector_state import VectorSimulatorState
+from repro.storage.workload import WorkloadInterval, WorkloadTrace
 from repro.utils.rng import SeedLike
 
 _NUM_LEVELS = len(LEVELS)
+# Raw-row layout: [counts (3), utilisation (3), S (14), I (14), Q (1)].
+_IQ_START = 2 * _NUM_LEVELS + NUM_IO_TYPES
 
 
 @dataclass(frozen=True)
@@ -89,32 +96,34 @@ class VectorStorageAllocationEnv:
         """``record_metrics`` enables per-interval IntervalMetrics records
         on every slot (needed when consumers inspect episode metrics, as
         evaluation does); rollout collection leaves it off — rewards are
-        computed from the lightweight per-step summaries either way, with
-        identical values.  ``cache_model_factory`` builds one cache model
-        per slot (each simulator needs its own instance — stateful models
-        must not be shared across lockstep episodes); by default the
-        system config's model is used."""
+        computed from the simulator core's per-step arrays either way,
+        with identical values.  ``cache_model_factory`` builds one cache
+        model per slot (each slot needs its own instance — stateful
+        models must not be shared across lockstep episodes); by default
+        the system config's model is used."""
         self.system_config = system_config or StorageSystemConfig()
         self.system_config.validate()
         self.reward_config = reward_config or RewardConfig()
         self.record_metrics = bool(record_metrics)
-        self._cache_model_factory = cache_model_factory
         self.action_space = ActionSpace()
         self.observation_encoder = ObservationEncoder(self.system_config)
-        self._sims: List[StorageSimulator] = []
-        self._dones = np.zeros(0, dtype=bool)
+        self._state = VectorSimulatorState(
+            self.system_config,
+            record_metrics=self.record_metrics,
+            cache_model_factory=cache_model_factory,
+        )
+        self._batch = 0
         self._makespans = np.zeros(0, dtype=int)
-        self._truncated = np.zeros(0, dtype=bool)
         self._raw = np.zeros((0, OBSERVATION_DIM))
         self._normalized = np.zeros((0, OBSERVATION_DIM))
-        self._row_workload_ids: List[int] = []
+        self._workload_features = np.zeros((0, 1, NUM_IO_TYPES + 1))
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def num_envs(self) -> int:
-        return len(self._sims)
+        return self._batch
 
     @property
     def observation_dim(self) -> int:
@@ -126,19 +135,20 @@ class VectorStorageAllocationEnv:
 
     @property
     def all_done(self) -> bool:
-        return bool(self._dones.all()) if self._dones.size else False
+        return bool(self._state.done.all()) if self._batch else False
 
     @property
     def dones(self) -> np.ndarray:
-        return self._raw_copy(self._dones)
+        return np.array(self._state.done)
 
-    def simulators(self) -> List[StorageSimulator]:
-        """The underlying per-slot simulators (read-only use intended)."""
-        return list(self._sims)
+    @property
+    def simulator_state(self) -> VectorSimulatorState:
+        """The underlying struct-of-arrays simulator core (read-only use)."""
+        return self._state
 
     def episode_metrics(self) -> List[EpisodeMetrics]:
         """Per-slot episode metrics (complete once the slot is done)."""
-        return [sim.episode_metrics for sim in self._sims]
+        return list(self._state.episodes)
 
     @staticmethod
     def _raw_copy(array: np.ndarray) -> np.ndarray:
@@ -164,79 +174,101 @@ class VectorStorageAllocationEnv:
             raise EnvironmentError_(
                 f"got {len(rngs)} rng streams for {len(traces)} traces"
             )
+        self._state.reset(traces, rngs=rngs)
         batch = len(traces)
-        while len(self._sims) < batch:
-            cache_model = (
-                self._cache_model_factory() if self._cache_model_factory else None
-            )
-            self._sims.append(
-                StorageSimulator(
-                    self.system_config,
-                    cache_model=cache_model,
-                    record_metrics=self.record_metrics,
-                )
-            )
-        del self._sims[batch:]
-
-        self._dones = np.zeros(batch, dtype=bool)
+        self._batch = batch
+        self._batch_arange = np.arange(batch)
         self._makespans = np.zeros(batch, dtype=int)
-        self._truncated = np.zeros(batch, dtype=bool)
-        self._raw = np.empty((batch, OBSERVATION_DIM))
-        self._row_workload_ids = [0] * batch
+
+        # Workload features per slot and interval: [I (14), Q] with one
+        # trailing "empty interval" row shared by the drain phase, so the
+        # per-step observation update is a single clipped gather.
+        t_max = int(self._state.trace_len.max())
+        features = np.zeros((batch, t_max + 1, NUM_IO_TYPES + 1))
+        empty = WorkloadInterval.empty()
+        features[:, :, :NUM_IO_TYPES] = empty.ratios
+        features[:, :, NUM_IO_TYPES] = empty.total_requests
         for i, trace in enumerate(traces):
-            self._sims[i].reset(trace, rng=None if rngs is None else rngs[i])
-            self._fill_raw_row(i)
-        self._normalized = self.observation_encoder.normalize_batch(self._raw)
+            for t, interval in enumerate(trace):
+                features[i, t, :NUM_IO_TYPES] = interval.ratios
+                features[i, t, NUM_IO_TYPES] = interval.total_requests
+        self._workload_features = features
+
+        raw = np.empty((batch, OBSERVATION_DIM))
+        raw[:, :_NUM_LEVELS] = self._state.counts
+        raw[:, _NUM_LEVELS : 2 * _NUM_LEVELS] = self._state.utilization
+        raw[:, 2 * _NUM_LEVELS : _IQ_START] = empty.size_vector()
+        raw[:, _IQ_START:] = features[:, 0]
+        self._raw = raw
+        self._normalized = self.observation_encoder.normalize_batch(raw)
         return self._raw_copy(self._normalized)
 
     def step(self, actions: Sequence[int]) -> VectorStepResult:
         """Advance every unfinished episode by one interval under ``actions``."""
-        if not self._sims:
+        if not self._batch:
             raise EnvironmentError_("step() called before reset()")
         actions = np.asarray(actions)
-        if actions.shape != (self.num_envs,):
+        if actions.shape != (self._batch,):
             raise EnvironmentError_(
-                f"expected ({self.num_envs},) actions, got shape {actions.shape}"
+                f"expected ({self._batch},) actions, got shape {actions.shape}"
             )
-        batch = self.num_envs
-        rewards = np.zeros(batch)
-        stepped = ~self._dones
-        newly_done = np.zeros(batch, dtype=bool)
+        state = self._state
+        stepped = state.step(actions)
+        all_stepped = state.last_step_all_active
+        ix = slice(None) if all_stepped else np.nonzero(stepped)[0]
 
-        for i in np.nonzero(stepped)[0].tolist():
-            sim = self._sims[i]
-            sim.step(int(actions[i]))
-            reward = compute_step_reward_from_values(
-                self.reward_config, sim.last_step_values
-            )
-            if sim.is_done:
-                reward += compute_terminal_reward(self.reward_config, sim.makespan)
-                self._dones[i] = True
-                newly_done[i] = True
-                self._makespans[i] = sim.makespan
-                self._truncated[i] = sim.episode_metrics.truncated
-            rewards[i] = reward
-            self._fill_raw_row(i)
-
-        raw = self._raw_copy(self._raw)
-        if stepped.all():
-            normalized = self.observation_encoder.normalize_batch(raw)
+        step_rewards = compute_step_rewards_batch(
+            self.reward_config,
+            state.incoming[ix],
+            state.processed[ix],
+            state.capacity[ix],
+            state.utilization[ix],
+            state.backlog[ix],
+        )
+        if all_stepped:
+            rewards = step_rewards
         else:
-            # Finished slots keep their frozen rows; only refresh the rest.
+            rewards = np.zeros(self._batch)
+            rewards[ix] = step_rewards
+        newly_done = stepped & state.done
+        finished = np.nonzero(newly_done)[0]
+        if finished.size:
+            self._makespans[finished] = state.steps_taken[finished]
+            rewards[finished] += compute_terminal_rewards_batch(
+                self.reward_config, state.steps_taken[finished]
+            )
+
+        # Refresh the observation rows of the slots that moved; finished
+        # slots keep their frozen rows.
+        raw = self._raw
+        raw[ix, :_NUM_LEVELS] = state.counts[ix]
+        raw[ix, _NUM_LEVELS : 2 * _NUM_LEVELS] = state.utilization[ix]
+        t = np.minimum(state.interval_index[ix], state.trace_len[ix])
+        if all_stepped:
+            raw[:, _IQ_START:] = self._workload_features[self._batch_arange, t]
+        else:
+            raw[ix, _IQ_START:] = self._workload_features[ix, t]
+        raw_out = self._raw_copy(raw)
+        if all_stepped:
+            normalized = self.observation_encoder.normalize_batch(raw_out)
+        else:
             normalized = self._raw_copy(self._normalized)
-            moved = stepped
-            normalized[moved] = self.observation_encoder.normalize_batch(raw[moved])
+            normalized[stepped] = self.observation_encoder.normalize_batch(
+                raw_out[stepped]
+            )
         self._normalized = normalized
 
+        # ``normalized`` and ``raw_out`` are freshly allocated this step
+        # and never mutated afterwards, so they are handed out directly.
         return VectorStepResult(
-            observations=self._raw_copy(normalized),
-            raw_observations=raw,
+            observations=normalized,
+            raw_observations=raw_out,
             rewards=rewards,
-            dones=self._raw_copy(self._dones),
+            dones=np.array(state.done),
             stepped=stepped,
             newly_done=newly_done,
             makespans=self._raw_copy(self._makespans),
-            truncated=self._raw_copy(self._truncated),
+            truncated=np.array(state.truncated),
         )
 
     # ------------------------------------------------------------------
@@ -260,42 +292,18 @@ class VectorStorageAllocationEnv:
         formed without consuming anything.
         """
         self._require_reset()
-        masks = self.action_space.valid_mask_batch([sim.core_pool for sim in self._sims])
-        for i in np.nonzero(self._dones)[0]:
-            masks[i] = False
-            masks[i, 0] = True
+        masks = self.action_space.valid_mask_batch_from_counts(
+            self._state.counts, self.system_config.min_cores_per_level
+        )
+        done = self._state.done
+        if done.any():
+            masks[done] = False
+            masks[done, 0] = True
         return masks
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _require_reset(self) -> None:
-        if not self._sims:
+        if not self._batch:
             raise EnvironmentError_("vector environment has not been reset")
-
-    def _fill_raw_row(self, index: int) -> None:
-        """Assemble one raw observation row exactly as ``Observation.raw``.
-
-        The row is [core counts (3), utilisation (3), S vector (14),
-        I vector (14), Q (1)] — the same float values the sequential
-        environment would produce, written straight into the batch
-        matrix.
-        """
-        sim = self._sims[index]
-        row = self._raw[index]
-        pool = sim.core_pool
-        utilization = sim.last_utilization
-        for j, level in enumerate(LEVELS):
-            row[j] = float(pool.count(level))
-            row[_NUM_LEVELS + j] = float(utilization[level])
-        workload = sim.current_workload()
-        # Workload intervals are immutable, so the S/I/Q span only needs
-        # rewriting when the slot moved on to a different interval object
-        # (the drain phase shares one empty-interval singleton).
-        if id(workload) != self._row_workload_ids[index]:
-            self._row_workload_ids[index] = id(workload)
-            n = 2 * _NUM_LEVELS
-            size_vector = workload.size_vector()
-            row[n : n + size_vector.size] = size_vector
-            row[n + size_vector.size : n + 2 * size_vector.size] = workload.ratios
-            row[-1] = float(workload.total_requests)

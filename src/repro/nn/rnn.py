@@ -16,7 +16,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd.functional import matmul_rows_np
+from repro.autograd.functional import _GEMM_MIN_COLS, matmul_rows_np
 from repro.autograd.tensor import Tensor
 from repro.errors import ShapeError
 from repro.nn import init
@@ -94,6 +94,14 @@ class GRUCell(Module):
             raise ShapeError(
                 f"forward_np expects (B, D) input and (B, H) hidden, got {x.shape} / {h.shape}"
             )
+        if x.shape[0] >= 2 and self.hidden_size >= _GEMM_MIN_COLS:
+            # Buffered in-place variant of the expression below: same
+            # operations on the same operands in the same order (gemm for
+            # M >= 2 and N >= _GEMM_MIN_COLS is exactly what
+            # matmul_rows_np resolves to), with the gate intermediates
+            # reused across calls.  Only the returned hidden state is
+            # freshly allocated — it escapes to callers.
+            return self._forward_np_buffered(x, h)
         pre_r = matmul_rows_np(x, self.w_xr.data) + matmul_rows_np(h, self.w_hr.data) + self.b_r.data
         pre_z = matmul_rows_np(x, self.w_xz.data) + matmul_rows_np(h, self.w_hz.data) + self.b_z.data
         reset = 1.0 / (1.0 + np.exp(-pre_r))
@@ -101,6 +109,48 @@ class GRUCell(Module):
         pre_n = matmul_rows_np(x, self.w_xn.data) + reset * matmul_rows_np(h, self.w_hn.data) + self.b_n.data
         candidate = np.tanh(pre_n)
         return (1.0 - update) * candidate + update * h
+
+    def _forward_np_buffered(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Hot-path GRU step: identical arithmetic, reused gate buffers."""
+        batch = x.shape[0]
+        buffers = getattr(self, "_np_gate_buffers", None)
+        if buffers is None or buffers[0].shape[0] != batch:
+            buffers = tuple(
+                np.empty((batch, self.hidden_size)) for _ in range(4)
+            )
+            self._np_gate_buffers = buffers
+        gate, carry, blend, scratch = buffers
+
+        # reset gate -> `gate`
+        np.matmul(x, self.w_xr.data, out=gate)
+        np.matmul(h, self.w_hr.data, out=scratch)
+        gate += scratch
+        gate += self.b_r.data
+        np.negative(gate, out=gate)
+        np.exp(gate, out=gate)
+        gate += 1.0
+        np.divide(1.0, gate, out=gate)
+        # candidate pre-activation -> `carry` (needs the reset gate)
+        np.matmul(h, self.w_hn.data, out=carry)
+        carry *= gate
+        np.matmul(x, self.w_xn.data, out=scratch)
+        scratch += carry
+        scratch += self.b_n.data
+        np.tanh(scratch, out=scratch)
+        # update gate -> `gate` (reset no longer needed)
+        np.matmul(x, self.w_xz.data, out=gate)
+        np.matmul(h, self.w_hz.data, out=carry)
+        gate += carry
+        gate += self.b_z.data
+        np.negative(gate, out=gate)
+        np.exp(gate, out=gate)
+        gate += 1.0
+        np.divide(1.0, gate, out=gate)
+        # blend: (1 - z) * n + z * h, freshly allocated result
+        np.subtract(1.0, gate, out=blend)
+        blend *= scratch
+        gate *= h
+        return blend + gate
 
 
 class GRU(Module):

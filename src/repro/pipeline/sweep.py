@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
-from repro.utils.serialization import json_digest, save_json
+from repro.utils.serialization import atomic_write_text, json_digest, load_json, save_json
 from repro.utils.tables import format_table
 
 PathLike = Union[str, Path]
@@ -442,6 +442,7 @@ class SweepResult:
     spec: SweepSpec
     records: List[Dict[str, Any]]
     wall_time_s: float = 0.0
+    num_resumed: int = 0
 
     @property
     def num_jobs(self) -> int:
@@ -489,7 +490,15 @@ class SweepRunner:
     canonical per-job records, byte-identical across reruns — plus
     ``sweep.json`` (aggregate summary incl. per-job digests and the one
     place wall-clock timing is recorded) and ``summary.txt`` (the
-    rendered comparison table).
+    rendered comparison table).  All output files are written atomically
+    (temp file + rename), so a killed run never leaves truncated JSON
+    that a later rerun would misread.
+
+    With ``resume=True``, jobs whose per-job JSON already exists in the
+    output dir with a verified sha256 digest (and ``status == "ok"``)
+    are loaded instead of re-executed — deleting one job file and
+    rerunning recomputes exactly that job, byte-identically, because a
+    job's payload depends only on its ``(kind, params, seed)`` triple.
     """
 
     def __init__(
@@ -499,15 +508,19 @@ class SweepRunner:
         num_workers: int = 1,
         start_method: Optional[str] = None,
         progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+        resume: bool = False,
     ) -> None:
         if num_workers <= 0:
             raise ConfigurationError(f"num_workers must be positive, got {num_workers}")
+        if resume and output_dir is None:
+            raise ConfigurationError("resume=True requires an output_dir")
         spec.validate()
         self.spec = spec
         self.output_dir = Path(output_dir) if output_dir is not None else None
         self.num_workers = int(num_workers)
         self.start_method = start_method
         self.progress = progress
+        self.resume = bool(resume)
 
     def expand(self) -> List[SweepJob]:
         return expand_jobs(self.spec)
@@ -515,25 +528,69 @@ class SweepRunner:
     def run(self) -> SweepResult:
         jobs = self.expand()
         start = time.perf_counter()
-        records: List[Dict[str, Any]] = []
-        if self.num_workers == 1 or len(jobs) == 1:
+        resumed: Dict[int, Dict[str, Any]] = {}
+        if self.resume:
             for job in jobs:
-                records.append(execute_job(job))
-                self._report(len(records), len(jobs), records[-1])
+                record = self._load_resumed_record(job)
+                if record is not None:
+                    resumed[job.index] = record
+        pending = [job for job in jobs if job.index not in resumed]
+        executed: Dict[int, Dict[str, Any]] = {}
+        if self.num_workers == 1 or len(pending) <= 1:
+            for job in pending:
+                record = execute_job(job)
+                executed[job.index] = record
+                self._report(len(executed), len(pending), record)
         else:
             context = multiprocessing.get_context(self.start_method)
-            with context.Pool(processes=min(self.num_workers, len(jobs))) as pool:
+            with context.Pool(processes=min(self.num_workers, len(pending))) as pool:
                 # imap preserves job order while letting workers overlap.
-                for record in pool.imap(execute_job, jobs):
-                    records.append(record)
-                    self._report(len(records), len(jobs), record)
+                for job, record in zip(pending, pool.imap(execute_job, pending)):
+                    executed[job.index] = record
+                    self._report(len(executed), len(pending), record)
+        records = [
+            resumed[job.index] if job.index in resumed else executed[job.index]
+            for job in jobs
+        ]
         result = SweepResult(
             spec=self.spec, records=records,
             wall_time_s=time.perf_counter() - start,
+            num_resumed=len(resumed),
         )
         if self.output_dir is not None:
             self._write_outputs(result)
         return result
+
+    def _load_resumed_record(self, job: SweepJob) -> Optional[Dict[str, Any]]:
+        """A verified previous record for ``job``, or None to re-run it.
+
+        A record is only reused when it parses, matches the job's
+        identity (name/kind/seed/params), finished with ``status ==
+        "ok"`` and carries a digest that matches its own payload — a
+        corrupt, stale or failed file falls through to re-execution.
+        """
+        path = self.output_dir / "jobs" / f"{job.name}.json"
+        if not path.exists():
+            return None
+        try:
+            record = load_json(path)
+        except Exception:
+            return None
+        if record.get("status") != "ok":
+            return None
+        identity_keys = ("name", "kind", "seed", "params")
+        if any(key not in record for key in identity_keys) or "digest" not in record:
+            return None
+        if json_digest({k: record[k] for k in identity_keys}) != json_digest(
+            job.payload_id()
+        ):
+            return None
+        expected = json_digest(
+            {k: v for k, v in record.items() if k not in ("digest", "traceback")}
+        )
+        if record["digest"] != expected:
+            return None
+        return record
 
     def _report(self, done: int, total: int, record: Dict[str, Any]) -> None:
         if self.progress is not None:
@@ -546,7 +603,6 @@ class SweepRunner:
             save_json(jobs_dir / f"{record['name']}.json", record)
         summary = result.summary()
         summary["wall_time_s"] = result.wall_time_s
+        summary["num_resumed"] = result.num_resumed
         save_json(self.output_dir / "sweep.json", summary)
-        (self.output_dir / "summary.txt").write_text(
-            result.table() + "\n", encoding="utf-8"
-        )
+        atomic_write_text(self.output_dir / "summary.txt", result.table() + "\n")

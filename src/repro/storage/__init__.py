@@ -23,6 +23,7 @@ from repro.storage.cores import Core, CorePool
 from repro.storage.cache import CacheModel, ConstantCacheModel, WorkingSetCacheModel
 from repro.storage.migration import MigrationAction, ACTION_NOOP, action_name, all_actions
 from repro.storage.simulator import StorageSimulator, StorageSystemConfig
+from repro.storage.vector_state import VectorSimulatorState
 from repro.storage.metrics import IntervalMetrics, EpisodeMetrics
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "all_actions",
     "StorageSimulator",
     "StorageSystemConfig",
+    "VectorSimulatorState",
     "IntervalMetrics",
     "EpisodeMetrics",
 ]

@@ -25,6 +25,17 @@ class CacheModel(ABC):
     def reset(self) -> None:
         """Clear any internal state between episodes (default: stateless)."""
 
+    def constant_miss_rate(self) -> "float | None":
+        """The model's miss rate if it is a workload-independent constant.
+
+        Returns ``None`` for stateful/workload-sensitive models.  The
+        vectorized simulator core uses this to resolve a whole batch of
+        cache lookups as one array broadcast; models returning ``None``
+        fall back to one :meth:`miss_rate` call per environment slot,
+        preserving each slot's internal-state trajectory exactly.
+        """
+        return None
+
     def signature(self) -> tuple:
         """Value-based identity of the model's dynamics.
 
@@ -45,6 +56,9 @@ class ConstantCacheModel(CacheModel):
         self._miss_rate = float(miss_rate)
 
     def miss_rate(self, interval: WorkloadInterval) -> float:
+        return self._miss_rate
+
+    def constant_miss_rate(self) -> float:
         return self._miss_rate
 
     def signature(self) -> tuple:

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.storage.levels import LEVELS, Level
@@ -173,3 +175,35 @@ class CorePool:
             ],
             min_cores_per_level=self.min_cores_per_level,
         )
+
+    # ------------------------------------------------------------------
+    # Array form (struct-of-arrays simulator core)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Export as ``(level_indices, cooldowns)`` arrays indexed by core id.
+
+        This is the per-slot row layout of the vectorized simulator's
+        B-major core state: position ``i`` describes core ``i``, and
+        "cores at level L in core-id order" is exactly the subsequence
+        ``level_indices == L`` — the order :meth:`cores_at` produces.
+        """
+        levels = np.array([LEVELS.index(core.level) for core in self.cores], dtype=np.int64)
+        cooldowns = np.array([core.migration_cooldown for core in self.cores], dtype=np.int64)
+        return levels, cooldowns
+
+    @staticmethod
+    def from_arrays(
+        level_indices: np.ndarray,
+        cooldowns: np.ndarray,
+        min_cores_per_level: int = 1,
+    ) -> "CorePool":
+        """Materialise a pool from one slot of the array-form core state."""
+        cores = [
+            Core(
+                core_id=i,
+                level=LEVELS[int(level_indices[i])],
+                migration_cooldown=int(cooldowns[i]),
+            )
+            for i in range(len(level_indices))
+        ]
+        return CorePool(cores=cores, min_cores_per_level=min_cores_per_level)

@@ -11,7 +11,7 @@ own effective capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -89,6 +89,66 @@ def proportional_dispatch(pending_kb: float, core_capacities_kb: Sequence[float]
         assigned = pending_kb * capacities / total_capacity
     processed = np.minimum(assigned, capacities)
     return DispatchResult(assigned_kb=assigned, processed_kb=processed, capacity_kb=capacities)
+
+
+# ----------------------------------------------------------------------
+# Array-form reductions (struct-of-arrays simulator core)
+# ----------------------------------------------------------------------
+#: Largest row length :func:`pairwise_sum_ragged` reproduces; numpy's
+#: pairwise summation switches to recursive splitting above this block
+#: size (``PW_BLOCKSIZE``), which the column-accumulate model does not
+#: cover.  Callers with longer rows must fall back to per-row ``sum()``.
+PAIRWISE_MAX_LENGTH = 128
+
+
+def pairwise_sum_ragged(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-cell ``values[..., :lengths[...]].sum()`` for ragged rows.
+
+    ``values`` is ``(..., n_max)`` with ``0 <= lengths <= n_max``; cell
+    ``c`` of the result is bit-identical to ``values[c, :lengths[c]].sum()``
+    — the function replays numpy's pairwise summation order for every
+    row length at once (a plain left-to-right accumulation below 8
+    elements, the 8-accumulator unrolled tree with a sequential tail up
+    to :data:`PAIRWISE_MAX_LENGTH`) using one masked column pass.
+    Columns at and beyond a cell's length may hold arbitrary finite
+    garbage; they never reach an accumulation.
+
+    This is the **executable specification** of the summation-order
+    model that the vectorized simulator's dispatch sweep
+    (:meth:`~repro.storage.vector_state.VectorSimulatorState._process_intervals_grouped`)
+    inlines for its hot path: ``tests/test_vector_state.py`` pins this
+    function against per-row ``sum()`` across lengths, so a numpy
+    upgrade that changes the pairwise internals fails here loudly
+    instead of silently drifting a golden trace.
+    """
+    n_max = values.shape[-1]
+    if n_max > PAIRWISE_MAX_LENGTH:
+        raise SimulationError(
+            f"pairwise_sum_ragged supports rows up to {PAIRWISE_MAX_LENGTH}, got {n_max}"
+        )
+    # Left-to-right accumulation: exact for lengths < 8.
+    small = np.zeros(values.shape[:-1])
+    for j in range(min(n_max, 7)):
+        small = small + np.where(j < lengths, values[..., j], 0.0)
+    if n_max < 8:
+        return small
+    # 8-accumulator unrolled path for lengths >= 8: full blocks of 8
+    # accumulate r[j] += a[8k + j], the eight accumulators combine as a
+    # balanced tree, and the non-multiple-of-8 tail adds sequentially.
+    full_blocks = lengths - lengths % 8
+    accumulators = [np.array(values[..., j]) for j in range(8)]
+    for base in range(8, n_max - 7, 8):
+        include = base + 8 <= full_blocks
+        for j in range(8):
+            accumulators[j] = accumulators[j] + np.where(
+                include, values[..., base + j], 0.0
+            )
+    big = (
+        (accumulators[0] + accumulators[1]) + (accumulators[2] + accumulators[3])
+    ) + ((accumulators[4] + accumulators[5]) + (accumulators[6] + accumulators[7]))
+    for j in range(8, n_max):
+        big = big + np.where((full_blocks <= j) & (j < lengths), values[..., j], 0.0)
+    return np.where(lengths < 8, small, big)
 
 
 DISPATCHERS = {

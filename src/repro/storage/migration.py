@@ -59,6 +59,28 @@ ACTION_NOOP = MigrationAction.NOOP
 NUM_ACTIONS = len(MigrationAction)
 
 
+def _level_index_table(position: int):
+    import numpy as np
+
+    from repro.storage.levels import LEVELS
+
+    table = np.full(NUM_ACTIONS, -1, dtype=np.int64)
+    for action, pair in _ACTION_PAIRS.items():
+        level = pair[position]
+        if level is not None:
+            table[int(action)] = LEVELS.index(level)
+    table.setflags(write=False)
+    return table
+
+
+#: Action index -> source/destination level index (-1 for the no-op).
+#: Array form of :attr:`MigrationAction.source` / ``.destination`` used by
+#: the vectorized simulator kernels to resolve whole action batches with
+#: one fancy-indexing lookup instead of per-slot enum property access.
+ACTION_SOURCE_INDICES = _level_index_table(0)
+ACTION_DEST_INDICES = _level_index_table(1)
+
+
 _ACTIONS_BY_INDEX: Tuple[MigrationAction, ...] = tuple(MigrationAction)
 
 

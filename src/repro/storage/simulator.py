@@ -23,12 +23,18 @@ Each level keeps a backlog of unfinished work; unfinished requests are
 postponed to later intervals (paper Section 2, property 2).  Work inside
 a level is assigned to cores by the polling dispatcher, which does not
 redistribute work away from slow (penalised or idle) cores.
+
+Implementation note: the scalar simulator is the ``B=1`` view of the
+struct-of-arrays :class:`~repro.storage.vector_state.VectorSimulatorState`
+core — the same array kernels advance one episode here and a whole batch
+inside the vectorized environment, which is what keeps sequential and
+batched execution bit-identical by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +44,7 @@ from repro.storage.cores import CorePool
 from repro.storage.dispatcher import get_dispatcher
 from repro.storage.levels import LEVELS, Level
 from repro.storage.metrics import EpisodeMetrics, IntervalMetrics, StepValues
-from repro.storage.migration import MigrationAction, action_from_index
+from repro.storage.migration import MigrationAction
 from repro.storage.workload import WorkloadInterval, WorkloadTrace
 from repro.utils.rng import SeedLike, new_rng
 
@@ -116,8 +122,27 @@ class StorageSystemConfig:
         return self.total_cores * self.core_capability_kb
 
 
+def incoming_work_values(
+    config: StorageSystemConfig, workload: WorkloadInterval, miss_rate: float
+) -> Tuple[float, float, float]:
+    """Per-level incoming work in LEVELS order (NORMAL, KV, RV)."""
+    read_kb = workload.read_kb()
+    write_kb = workload.write_kb()
+    missed_read_kb = read_kb * miss_rate
+    return (
+        read_kb + write_kb,
+        write_kb * config.kv_write_factor + missed_read_kb * config.kv_read_miss_factor,
+        write_kb * config.rv_write_factor + missed_read_kb * config.rv_read_miss_factor,
+    )
+
+
 class StorageSimulator:
-    """Simulates CPU-core migration in the multi-level storage system."""
+    """Simulates CPU-core migration in the multi-level storage system.
+
+    This is the B=1 view over :class:`VectorSimulatorState`: all episode
+    state lives in the shared array core, and ``step()`` advances it
+    through the same kernels the vectorized environment uses.
+    """
 
     def __init__(
         self,
@@ -126,50 +151,31 @@ class StorageSimulator:
         rng: SeedLike = None,
         record_metrics: bool = True,
     ) -> None:
+        from repro.storage.vector_state import VectorSimulatorState
+
         self.config = config or StorageSystemConfig()
         self.config.validate()
         self.cache_model = cache_model or self.config.build_cache_model()
-        self._dispatch = get_dispatcher(self.config.dispatcher)
-        self._dispatch_is_polling = self.config.dispatcher == "polling"
         self._record_metrics = bool(record_metrics)
-        self._capacity_cache: Dict[int, Tuple[np.ndarray, float]] = {}
         self._rng = new_rng(rng)
+        self._state = VectorSimulatorState(
+            self.config,
+            record_metrics=self._record_metrics,
+            cache_model_factory=lambda: self.cache_model,
+        )
         self._trace: Optional[WorkloadTrace] = None
-        self._pool: Optional[CorePool] = None
-        # Per-level state kept in LEVELS order (plain lists — enum-keyed
-        # dict lookups are measurable on the per-interval hot path and
-        # are only materialised for the metrics records).
-        self._backlog_values: List[float] = [0.0 for _ in LEVELS]
-        self._interval_index = 0
-        self._last_utilization: Dict[Level, float] = {level: 0.0 for level in LEVELS}
-        self._episode: Optional[EpisodeMetrics] = None
         self._last_step_values: Optional[StepValues] = None
-        self._steps_taken = 0
-        self._max_intervals = 0
 
     # ------------------------------------------------------------------
     # Episode control
     # ------------------------------------------------------------------
     def reset(self, trace: WorkloadTrace, rng: SeedLike = None) -> None:
         """Start a new episode over ``trace``."""
-        if len(trace) == 0:
-            raise SimulationError(f"trace {trace.name!r} has no intervals")
         if rng is not None:
             self._rng = new_rng(rng)
+        self._state.reset([trace], rngs=[self._rng])
         self._trace = trace
-        self._pool = CorePool.create(
-            self.config.initial_allocation, self.config.min_cores_per_level
-        )
-        self._backlog_values = [0.0 for _ in LEVELS]
-        self._interval_index = 0
-        self._last_utilization = {level: 0.0 for level in LEVELS}
-        self._episode = EpisodeMetrics(trace_name=trace.name)
         self._last_step_values = None
-        self._steps_taken = 0
-        self.cache_model.reset()
-        self._max_intervals = int(
-            self.config.max_intervals_factor * len(trace) + self.config.max_intervals_slack
-        )
 
     @property
     def is_running(self) -> bool:
@@ -178,33 +184,30 @@ class StorageSimulator:
     @property
     def is_done(self) -> bool:
         """True once all injected work is processed (or the safety cap hit)."""
-        if self._trace is None or self._episode is None:
+        if self._trace is None:
             return False
-        if self._episode.truncated:
-            return True
-        injected_all = self._interval_index >= len(self._trace)
-        drained = all(backlog <= 1e-9 for backlog in self._backlog_values)
-        return injected_all and drained
+        return bool(self._state.done[0])
 
     @property
     def interval_index(self) -> int:
-        return self._interval_index
+        return int(self._state.interval_index[0]) if self._trace is not None else 0
 
     @property
     def core_pool(self) -> CorePool:
+        """A read-only snapshot of the core pool (see ``core_pool_view``)."""
         self._require_episode()
-        return self._pool  # type: ignore[return-value]
+        return self._state.core_pool_view(0)
 
     @property
     def episode_metrics(self) -> EpisodeMetrics:
         self._require_episode()
-        return self._episode  # type: ignore[return-value]
+        return self._state.episodes[0]
 
     @property
     def makespan(self) -> int:
         """Makespan so far (final value once :attr:`is_done`)."""
         self._require_episode()
-        return self._steps_taken
+        return int(self._state.steps_taken[0])
 
     @property
     def last_step_values(self) -> StepValues:
@@ -219,30 +222,38 @@ class StorageSimulator:
         return self._record_metrics
 
     def backlog_kb(self) -> Dict[Level, float]:
-        return dict(zip(LEVELS, self._backlog_values))
+        self._require_episode()
+        return dict(zip(LEVELS, self._state.backlog[0].tolist()))
 
     def utilization(self) -> Dict[Level, float]:
-        return dict(self._last_utilization)
+        self._require_episode()
+        return dict(zip(LEVELS, self._state.utilization[0].tolist()))
 
     @property
     def last_utilization(self) -> Dict[Level, float]:
-        """Previous interval's utilisation (internal dict — do not mutate)."""
-        return self._last_utilization
+        """Previous interval's utilisation as a fresh dict."""
+        return self.utilization()
 
     def core_counts(self) -> Dict[Level, int]:
         self._require_episode()
-        return self._pool.counts()  # type: ignore[union-attr]
+        return dict(zip(LEVELS, (int(c) for c in self._state.counts[0])))
+
+    def core_counts_vector(self) -> np.ndarray:
+        """Counts in canonical order (NORMAL, KV, RV) as an int array."""
+        self._require_episode()
+        return self._state.counts[0]
 
     def current_workload(self) -> WorkloadInterval:
         """The workload interval that will be injected by the next step."""
         self._require_episode()
         assert self._trace is not None
-        if self._interval_index < len(self._trace):
-            return self._trace[self._interval_index]
+        index = int(self._state.interval_index[0])
+        if index < len(self._trace):
+            return self._trace[index]
         return WorkloadInterval.empty()
 
     def _require_episode(self) -> None:
-        if self._trace is None or self._pool is None or self._episode is None:
+        if self._trace is None:
             raise SimulationError("simulator has not been reset with a trace")
 
     # ------------------------------------------------------------------
@@ -251,7 +262,7 @@ class StorageSimulator:
     def demand_for(self, interval: WorkloadInterval) -> Dict[Level, float]:
         """Kilobytes of work each level receives from ``interval``."""
         miss_rate = self.cache_model.miss_rate(interval)
-        return self._incoming_with_miss_rate(interval, miss_rate)
+        return dict(zip(LEVELS, incoming_work_values(self.config, interval, miss_rate)))
 
     # ------------------------------------------------------------------
     # Stepping
@@ -265,169 +276,13 @@ class StorageSimulator:
         still available via :attr:`last_step_values`).
         """
         self._require_episode()
-        assert self._trace is not None and self._pool is not None and self._episode is not None
         if self.is_done:
             raise SimulationError("step() called on a finished episode")
-
-        action = action_from_index(action)
-
-        # 1. Apply the migration decided for this interval.  The migrated
-        #    core starts working at its new level immediately but pays the
-        #    performance penalty for `migration_cooldown_intervals`.
-        migration_applied = False
-        if not action.is_noop:
-            migrated = self._pool.migrate_one(
-                action.source,
-                action.destination,
-                cooldown_intervals=self.config.migration_cooldown_intervals + 1,
-            )
-            migration_applied = migrated is not None
-
-        # 2. Inject this interval's workload (if the trace still has one).
-        backlog = self._backlog_values
-        if self._interval_index < len(self._trace):
-            workload = self._trace[self._interval_index]
-            cache_miss_rate = self.cache_model.miss_rate(workload)
-            incoming_values = self._incoming_values(workload, cache_miss_rate)
-            for index in range(len(LEVELS)):
-                backlog[index] += incoming_values[index]
-        else:
-            cache_miss_rate = 0.0
-            incoming_values = (0.0,) * len(LEVELS)
-
-        # 3. Compute each level's per-core effective capacity and process.
-        utilization_values: List[float] = []
-        processed_values: List[float] = []
-        capacity_values: List[float] = []
-        idle_values: List[int] = []
-        no_penalty = self._pool.penalized_total == 0
-        for index, level in enumerate(LEVELS):
-            cores = self._pool.cores_at(level)
-            idle = self._sample_idle_cores(len(cores))
-            idle_values.append(idle)
-            if idle == 0 and no_penalty:
-                # Common case: full-speed cores, none idled — serve the
-                # cached per-count capacity array and its cached sum.
-                capacities, total_capacity = self._uniform_capacities(len(cores))
-            else:
-                capacities = self._core_capacities(cores, idle)
-                total_capacity = float(capacities.sum())
-            pending = backlog[index]
-            if self._dispatch_is_polling and capacities.size:
-                # Inlined polling dispatch: an even split processed up to
-                # each core's capacity.  Identical arithmetic to
-                # ``polling_dispatch`` (np.minimum broadcasts the same
-                # per-core assignment) without the per-call result object;
-                # this loop runs three times per simulated interval.
-                processed_kb = np.minimum(pending / capacities.size, capacities)
-            else:
-                result = self._dispatch(pending, capacities)
-                processed_kb = result.processed_kb
-            # Reduce once here instead of through the DispatchResult
-            # properties (which each re-sum the arrays).
-            total_processed = float(processed_kb.sum())
-            processed_values.append(total_processed)
-            capacity_values.append(total_capacity)
-            utilization_values.append(
-                min(1.0, total_processed / total_capacity) if total_capacity > 0 else 0.0
-            )
-            backlog[index] = max(0.0, pending - total_processed)
-
-        utilization = dict(zip(LEVELS, utilization_values))
-        self._last_utilization = utilization
-
-        # 4. Advance time and decay migration penalties.
-        self._pool.tick()
-        self._interval_index += 1
-        self._steps_taken += 1
-        self._last_step_values = StepValues(
-            incoming_kb=tuple(incoming_values),
-            processed_kb=tuple(processed_values),
-            capacity_kb=tuple(capacity_values),
-            utilization=tuple(utilization_values),
-            backlog_kb=tuple(backlog),
-        )
-
-        metrics: Optional[IntervalMetrics] = None
+        self._state.step(np.array([int(action)], dtype=np.int64))
+        self._last_step_values = self._state.step_values(0)
         if self._record_metrics:
-            metrics = IntervalMetrics(
-                interval=self._interval_index - 1,
-                action=action,
-                migration_applied=migration_applied,
-                core_counts=self._pool.counts(),
-                utilization=utilization,
-                incoming_kb=dict(zip(LEVELS, incoming_values)),
-                processed_kb=dict(zip(LEVELS, processed_values)),
-                backlog_kb=dict(zip(LEVELS, backlog)),
-                capacity_kb=dict(zip(LEVELS, capacity_values)),
-                cache_miss_rate=cache_miss_rate,
-                idle_cores=dict(zip(LEVELS, idle_values)),
-            )
-            self._episode.record(metrics)
-
-        if self._steps_taken >= self._max_intervals and not self.is_done:
-            self._episode.truncated = True
-        return metrics
-
-    def _incoming_with_miss_rate(
-        self, workload: WorkloadInterval, miss_rate: float
-    ) -> Dict[Level, float]:
-        return dict(zip(LEVELS, self._incoming_values(workload, miss_rate)))
-
-    def _incoming_values(
-        self, workload: WorkloadInterval, miss_rate: float
-    ) -> Tuple[float, float, float]:
-        """Per-level incoming work in LEVELS order (NORMAL, KV, RV)."""
-        read_kb = workload.read_kb()
-        write_kb = workload.write_kb()
-        missed_read_kb = read_kb * miss_rate
-        return (
-            read_kb + write_kb,
-            write_kb * self.config.kv_write_factor
-            + missed_read_kb * self.config.kv_read_miss_factor,
-            write_kb * self.config.rv_write_factor
-            + missed_read_kb * self.config.rv_read_miss_factor,
-        )
-
-    def _sample_idle_cores(self, core_count: int) -> int:
-        """Number of cores at a level that are idle this interval (Poisson)."""
-        if core_count <= 1 or self.config.idle_rate <= 0:
-            return 0
-        idle = int(self._rng.poisson(self.config.idle_rate * core_count))
-        # Always keep at least one core active per level.
-        return min(idle, core_count - 1)
-
-    def _uniform_capacities(self, core_count: int) -> Tuple[np.ndarray, float]:
-        """Cached (read-only array, pairwise sum) of ``core_count`` full-speed cores."""
-        cached = self._capacity_cache.get(core_count)
-        if cached is None:
-            array = np.full(core_count, self.config.core_capability_kb, dtype=float)
-            array.setflags(write=False)
-            cached = (array, float(array.sum()))
-            self._capacity_cache[core_count] = cached
-        return cached
-
-    def _core_capacities(self, cores, idle_count: int) -> np.ndarray:
-        """Effective per-core capacities in KB for this interval."""
-        capability = self.config.core_capability_kb
-        if self._pool is not None and self._pool.penalized_total == 0:
-            capacities = np.full(len(cores), capability, dtype=float)
-        else:
-            capacities = np.array(
-                [
-                    capability * (1.0 - self.config.migration_penalty)
-                    if core.is_penalized
-                    else capability
-                    for core in cores
-                ],
-                dtype=float,
-            )
-        if idle_count > 0:
-            # Idle the cores with the largest remaining capacity last so the
-            # penalty of idling is conservative (idle full-speed cores first).
-            order = np.argsort(-capacities)
-            capacities[order[:idle_count]] = 0.0
-        return capacities
+            return self._state.episodes[0].intervals[-1]
+        return None
 
     # ------------------------------------------------------------------
     # Whole-episode convenience

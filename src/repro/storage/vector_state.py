@@ -1,0 +1,590 @@
+"""Struct-of-arrays simulator core: B episodes advanced as array kernels.
+
+:class:`VectorSimulatorState` holds the complete state of ``B``
+independent storage-simulator episodes in B-major numpy arrays — level
+occupancies (backlogs), per-core residency and migration cooldowns, and
+the per-interval accumulators — and advances every unfinished episode in
+one pass per interval.  Where the scalar simulator ran B Python loops
+over the three levels (the dominant cost of batched rollout collection),
+the vectorized kernels resolve migrations, workload injection, cache
+hit/miss accounting, idle sampling, and polling dispatch with a handful
+of array operations over all ``(slot, level)`` cells at once.
+
+Determinism contract
+--------------------
+Slot ``i`` of a vector episode is **bit-identical** to a scalar
+:class:`~repro.storage.simulator.StorageSimulator` episode on the same
+trace with the same rng stream (and the scalar simulator itself is the
+``B=1`` view of this state).  Three properties carry that guarantee:
+
+* every per-cell floating-point reduction is performed on the same
+  values in the same order as the scalar code (numpy's pairwise
+  summation over a contiguous row matches the standalone vector sum,
+  which ``tests/test_vector_state.py`` pins);
+* per-slot rng streams are consumed identically: one masked
+  ``Generator.poisson`` call per slot draws the same variates, in the
+  same level order, as the scalar per-level calls;
+* selection logic (migration candidate choice, idle-core ranking via
+  ``np.argsort``) replicates the scalar tie-breaking exactly.
+
+Episodes of different lengths coexist: finished slots are masked out of
+every kernel and stop consuming randomness, so a partial batch drains
+without perturbing the remaining slots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.storage.cache import CacheModel
+from repro.storage.cores import CorePool
+from repro.storage.dispatcher import get_dispatcher
+from repro.storage.levels import LEVELS
+from repro.storage.metrics import EpisodeMetrics, IntervalMetrics, StepValues
+from repro.storage.migration import (
+    ACTION_DEST_INDICES,
+    ACTION_SOURCE_INDICES,
+    NUM_ACTIONS as _NUM_ACTIONS,
+    action_from_index,
+)
+from repro.storage.workload import WorkloadTrace
+from repro.utils.rng import SeedLike, new_rng
+
+_NUM_LEVELS = len(LEVELS)
+_DRAIN_EPSILON = 1e-9
+
+
+class VectorSimulatorState:
+    """B-major state and vectorized update kernels for lockstep episodes.
+
+    One instance is reused across resets; the batch size is set by each
+    :meth:`reset` call.  Per-slot rng streams and cache models persist
+    across resets (continuing their streams unless a reset supplies new
+    seeds), mirroring the scalar simulator's reset semantics.
+    """
+
+    def __init__(
+        self,
+        config,
+        record_metrics: bool = False,
+        cache_model_factory: Optional[Callable[[], CacheModel]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self._record_metrics = bool(record_metrics)
+        self._cache_model_factory = cache_model_factory or config.build_cache_model
+        self._dispatch = get_dispatcher(config.dispatcher)
+        self._dispatch_is_polling = config.dispatcher == "polling"
+        self._capability = float(config.core_capability_kb)
+        self._penalized_capability = self._capability * (1.0 - config.migration_penalty)
+        self._capacity_cache: dict = {}
+        self._arange_cache: dict = {}
+        self._sweep_buffers: dict = {}
+        self.last_step_all_active = False
+        # Kernel selection: below this many active slots the per-cell
+        # reference kernel (the scalar simulator's exact inner loop) is
+        # cheaper than assembling the grouped gather; both kernels are
+        # bit-identical, so this is purely a performance switch (tests
+        # lower it to 1 to exercise the grouped kernel at B=1).
+        self._grouped_min_rows = 2
+        # The grouped kernel's column sweep replays numpy's pairwise
+        # summation for rows below 16 elements (left-to-right under 8,
+        # unrolled tree + tail up to 15); wider levels — impossible with
+        # <= 17 cores — and non-polling dispatchers use the reference
+        # kernel.
+        max_level_cores = config.total_cores - 2 * config.min_cores_per_level
+        self._grouped_supported = self._dispatch_is_polling and max_level_cores <= 15
+        self.batch = 0
+        self._cache_models: List[CacheModel] = []
+        self._rngs: List[np.random.Generator] = []
+        self._traces: List[WorkloadTrace] = []
+        self.episodes: List[EpisodeMetrics] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def record_metrics(self) -> bool:
+        return self._record_metrics
+
+    @property
+    def num_cores(self) -> int:
+        return int(self.config.total_cores)
+
+    def trace(self, slot: int) -> WorkloadTrace:
+        return self._traces[slot]
+
+    def trace_length(self, slot: int) -> int:
+        return int(self.trace_len[slot])
+
+    def rng(self, slot: int) -> np.random.Generator:
+        return self._rngs[slot]
+
+    def cache_model(self, slot: int) -> CacheModel:
+        return self._cache_models[slot]
+
+    def core_pool_view(self, slot: int) -> CorePool:
+        """A :class:`CorePool` materialised from one slot's arrays.
+
+        The pool is a *snapshot*: mutating it does not write back into
+        the array state.  Intended for read-only consumers (action
+        masking helpers, diagnostics, tests).
+        """
+        return CorePool.from_arrays(
+            self.core_level[slot], self.cooldown[slot], self.config.min_cores_per_level
+        )
+
+    def counts_row(self, slot: int) -> np.ndarray:
+        return self.counts[slot]
+
+    def step_values(self, slot: int) -> StepValues:
+        """The scalar simulator's lightweight per-interval summary for a slot."""
+        return StepValues(
+            incoming_kb=tuple(self.incoming[slot]),
+            processed_kb=tuple(self.processed[slot]),
+            capacity_kb=tuple(self.capacity[slot]),
+            utilization=tuple(self.utilization[slot]),
+            backlog_kb=tuple(self.backlog[slot]),
+        )
+
+    # ------------------------------------------------------------------
+    # Episode control
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        traces: Sequence[WorkloadTrace],
+        rngs: Optional[Sequence[SeedLike]] = None,
+    ) -> None:
+        """Start one episode per trace; ``rngs[i]`` (optional) seeds slot i."""
+        traces = list(traces)
+        if not traces:
+            raise SimulationError("reset() needs at least one trace")
+        if rngs is not None and len(rngs) != len(traces):
+            raise SimulationError(
+                f"got {len(rngs)} rng streams for {len(traces)} traces"
+            )
+        for trace in traces:
+            if len(trace) == 0:
+                raise SimulationError(f"trace {trace.name!r} has no intervals")
+        batch = len(traces)
+        self.batch = batch
+        self._traces = traces
+        while len(self._cache_models) < batch:
+            self._cache_models.append(self._cache_model_factory())
+        del self._cache_models[batch:]
+        while len(self._rngs) < batch:
+            self._rngs.append(new_rng(None))
+        del self._rngs[batch:]
+        if rngs is not None:
+            for i, seed in enumerate(rngs):
+                if seed is not None:
+                    self._rngs[i] = new_rng(seed)
+        for model in self._cache_models:
+            model.reset()
+        # Constant-miss fast path: when every slot's model is a constant,
+        # the whole batch's cache resolution is one array broadcast.
+        rates = [model.constant_miss_rate() for model in self._cache_models]
+        self._const_miss: Optional[np.ndarray] = (
+            np.array(rates, dtype=float) if all(r is not None for r in rates) else None
+        )
+
+        self.trace_len = np.array([len(t) for t in traces], dtype=np.int64)
+        t_max = int(self.trace_len.max())
+        self._read_kb = np.zeros((batch, t_max))
+        self._write_kb = np.zeros((batch, t_max))
+        for i, trace in enumerate(traces):
+            for t, interval in enumerate(trace):
+                self._read_kb[i, t] = interval.read_kb()
+                self._write_kb[i, t] = interval.write_kb()
+
+        initial_pool = CorePool.create(
+            self.config.initial_allocation, self.config.min_cores_per_level
+        )
+        levels, _ = initial_pool.to_arrays()
+        self.core_level = np.tile(levels, (batch, 1))
+        self.cooldown = np.zeros((batch, self.num_cores), dtype=np.int64)
+        self.counts = np.tile(
+            np.array(initial_pool.counts_vector(), dtype=np.int64), (batch, 1)
+        )
+        self.backlog = np.zeros((batch, _NUM_LEVELS))
+        self.interval_index = np.zeros(batch, dtype=np.int64)
+        self.steps_taken = np.zeros(batch, dtype=np.int64)
+        self.done = np.zeros(batch, dtype=bool)
+        self.truncated = np.zeros(batch, dtype=bool)
+        self.max_intervals = (
+            self.config.max_intervals_factor * self.trace_len
+            + self.config.max_intervals_slack
+        ).astype(np.int64)
+        self.incoming = np.zeros((batch, _NUM_LEVELS))
+        self.processed = np.zeros((batch, _NUM_LEVELS))
+        self.capacity = np.zeros((batch, _NUM_LEVELS))
+        self.utilization = np.zeros((batch, _NUM_LEVELS))
+        self.idle = np.zeros((batch, _NUM_LEVELS), dtype=np.int64)
+        self.cache_miss = np.zeros(batch)
+        self.migration_applied = np.zeros(batch, dtype=bool)
+        self.episodes = [EpisodeMetrics(trace_name=t.name) for t in traces]
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, actions: Sequence[int]) -> np.ndarray:
+        """Advance every unfinished slot one interval; returns the stepped mask.
+
+        Finished slots ignore their action, consume no randomness and
+        keep their final accumulator values; callers that need strict
+        scalar semantics (step-after-done is an error) enforce it above
+        this layer.
+        """
+        if self.batch == 0:
+            raise SimulationError("simulator has not been reset with a trace")
+        actions = np.asarray(actions, dtype=np.int64)
+        if actions.shape != (self.batch,):
+            raise SimulationError(
+                f"expected ({self.batch},) actions, got shape {actions.shape}"
+            )
+        if ((actions < 0) | (actions >= _NUM_ACTIONS)).any():
+            raise SimulationError(
+                f"action indices must be in [0, {_NUM_ACTIONS}), got {actions}"
+            )
+        stepped = ~self.done
+        rows = np.nonzero(stepped)[0]
+        self.last_step_all_active = all_active = rows.size == self.batch
+        if rows.size == 0:
+            return stepped
+        # Whole-batch steps (the common case until episodes start
+        # finishing) index with a slice: views instead of gather/scatter.
+        ix = slice(None) if all_active else rows
+
+        self._apply_migrations(rows, actions)
+        self._inject_workload(rows)
+        self._sample_idle(rows)
+        if self._grouped_supported and rows.size >= self._grouped_min_rows:
+            self._process_intervals_grouped(ix)
+        else:
+            self._process_intervals_reference(rows)
+
+        # Advance time and decay migration penalties (CorePool.tick).
+        if all_active:
+            self.cooldown -= self.cooldown > 0
+        else:
+            cool = self.cooldown[rows]
+            self.cooldown[rows] = cool - (cool > 0)
+        self.interval_index[ix] += 1
+        self.steps_taken[ix] += 1
+
+        injected_all = self.interval_index[ix] >= self.trace_len[ix]
+        if injected_all.any():
+            drained = (self.backlog[ix] <= _DRAIN_EPSILON).all(axis=1)
+            finished = injected_all & drained
+        else:
+            # No slot has injected its full trace yet, so none can finish
+            # this interval (mid-episode fast path).
+            finished = injected_all
+        truncated_now = (self.steps_taken[ix] >= self.max_intervals[ix]) & ~finished
+        if truncated_now.any():
+            self.truncated[ix] |= truncated_now
+            for slot in rows[truncated_now].tolist():
+                self.episodes[slot].truncated = True
+        self.done[ix] = finished | self.truncated[ix]
+
+        if self._record_metrics:
+            self._record_interval_metrics(rows, actions)
+        return stepped
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def _apply_migrations(self, rows: np.ndarray, actions: np.ndarray) -> None:
+        """Resolve all slots' migration actions in one vectorized pass.
+
+        Candidate choice matches ``CorePool.migrate_one``: the
+        lowest-id core at the source level that is not already paying a
+        penalty, falling back to the lowest-id penalised core.
+        """
+        self.migration_applied[rows] = False
+        moving = rows[actions[rows] != 0]
+        if moving.size == 0:
+            return
+        src = ACTION_SOURCE_INDICES[actions[moving]]
+        dst = ACTION_DEST_INDICES[actions[moving]]
+        legal = self.counts[moving, src] > self.config.min_cores_per_level
+        moving, src, dst = moving[legal], src[legal], dst[legal]
+        if moving.size == 0:
+            return
+        n = self.num_cores
+        # Selection key per core: id for full-speed cores, id + N for
+        # penalised ones, 2N for cores at other levels; argmin == the
+        # (is_penalized, core_id) sort order of the scalar pool.
+        key = np.where(
+            self.core_level[moving] == src[:, None],
+            self._arange(n)[None, :] + n * (self.cooldown[moving] > 0),
+            2 * n,
+        )
+        chosen = key.argmin(axis=1)
+        self.core_level[moving, chosen] = dst
+        self.cooldown[moving, chosen] = np.maximum(
+            self.cooldown[moving, chosen], self.config.migration_cooldown_intervals + 1
+        )
+        self.counts[moving, src] -= 1
+        self.counts[moving, dst] += 1
+        self.migration_applied[moving] = True
+
+    def _inject_workload(self, rows: np.ndarray) -> None:
+        """Add this interval's per-level demand to the backlogs (array form
+        of the scalar simulator's incoming-work computation)."""
+        self.incoming[rows] = 0.0
+        self.cache_miss[rows] = 0.0
+        inject = rows[self.interval_index[rows] < self.trace_len[rows]]
+        if inject.size == 0:
+            return
+        t = self.interval_index[inject]
+        if self._const_miss is not None:
+            miss = self._const_miss[inject]
+        else:
+            # Stateful models advance exactly once per injected interval,
+            # per slot, in slot order — matching the scalar call pattern.
+            miss = np.array(
+                [
+                    self._cache_models[slot].miss_rate(self._traces[slot][int(ti)])
+                    for slot, ti in zip(inject.tolist(), t.tolist())
+                ]
+            )
+        self.cache_miss[inject] = miss
+        read_kb = self._read_kb[inject, t]
+        write_kb = self._write_kb[inject, t]
+        missed_read_kb = read_kb * miss
+        config = self.config
+        self.incoming[inject, 0] = read_kb + write_kb
+        self.incoming[inject, 1] = (
+            write_kb * config.kv_write_factor
+            + missed_read_kb * config.kv_read_miss_factor
+        )
+        self.incoming[inject, 2] = (
+            write_kb * config.rv_write_factor
+            + missed_read_kb * config.rv_read_miss_factor
+        )
+        self.backlog[inject] += self.incoming[inject]
+
+    def _sample_idle(self, rows: np.ndarray) -> None:
+        """Draw each slot's idle-core counts (Poisson, scalar draws).
+
+        Each slot consumes the identical variates, in the identical
+        NORMAL/KV/RV order, as the scalar simulator's per-level calls —
+        levels with one core (or ``idle_rate == 0``) draw nothing,
+        exactly like the scalar skip.  Scalar ``poisson`` calls beat one
+        array-lambda call by ~6x, and draws are almost always zero, so
+        only nonzero results touch the idle matrix.
+        """
+        self.idle[rows] = 0
+        if self.config.idle_rate <= 0:
+            return
+        lam_rows = (self.config.idle_rate * self.counts[rows]).tolist()
+        counts_rows = self.counts[rows].tolist()
+        rngs = self._rngs
+        idle = self.idle
+        for j, slot in enumerate(rows.tolist()):
+            rng = rngs[slot]
+            lam = lam_rows[j]
+            cell_counts = counts_rows[j]
+            for level_index in range(_NUM_LEVELS):
+                core_count = cell_counts[level_index]
+                if core_count > 1:
+                    draw = int(rng.poisson(lam[level_index]))
+                    if draw:
+                        idle[slot, level_index] = min(draw, core_count - 1)
+
+    def _process_intervals_grouped(self, ix) -> None:
+        """Vectorized polling dispatch + accounting over all (slot, level) cells.
+
+        Cores are grouped by level with one stable argsort per slot and
+        gathered into an ``(A, 3, n_max)`` positional capacity tensor.
+        Both reductions (processed and capacity totals) then run as one
+        fused masked column sweep for cells below 8 cores — numpy's
+        pairwise summation is plain left-to-right there, which the sweep
+        replays exactly — while the few wider cells reduce through
+        numpy's own row ``sum()`` per distinct core count, so every cell
+        is bit-identical to the scalar per-level reductions.  Idled cores
+        are zeroed exactly like the scalar path: uniform cells (no
+        penalised core at the level) idle their first ``idle`` cores —
+        ``np.argsort`` of a constant row is the identity permutation —
+        and the rare penalised+idle cells replay the scalar argsort
+        ranking individually.
+        """
+        counts = self.counts[ix]
+        n_max = int(counts.max())
+        if int(counts.min()) == 0:
+            raise SimulationError(
+                "polling dispatch requires at least one core per level"
+            )
+        batch = counts.shape[0]
+        penalized_cores = self.cooldown[ix] > 0
+        any_penalty = penalized_cores.any()
+        if any_penalty:
+            core_level = self.core_level[ix]
+            order = np.argsort(core_level, axis=1, kind="stable")
+            capall = np.where(
+                penalized_cores, self._penalized_capability, self._capability
+            )
+            arow = np.arange(batch)[:, None]
+            sorted_caps = capall[arow, order]
+            starts = np.zeros((batch, _NUM_LEVELS), dtype=np.int64)
+            starts[:, 1] = counts[:, 0]
+            starts[:, 2] = counts[:, 0] + counts[:, 1]
+            cols = np.minimum(
+                starts[:, :, None] + self._arange(n_max)[None, None, :],
+                self.num_cores - 1,
+            )
+            caps = sorted_caps[arow[:, :, None], cols]
+        else:
+            caps = np.full((batch, _NUM_LEVELS, n_max), self._capability)
+
+        # Zero the columns past each cell's core count: adding +0.0 is an
+        # exact identity, so the column accumulations below reduce just
+        # the valid prefix (all capacities are >= 0, so 0 * garbage is
+        # +0.0).
+        caps *= self._arange(n_max)[None, None, :] < counts[:, :, None]
+
+        idle = self.idle[ix]
+        busy = idle > 0
+        if busy.any():
+            if any_penalty:
+                # A cell needs the argsort ranking only when the level
+                # mixes full-speed and penalised cores; uniform cells
+                # idle their first cores (argsort of a constant row is
+                # the identity permutation).
+                penalized_cells = (caps == self._penalized_capability).any(axis=-1)
+                uniform_busy = busy & ~penalized_cells
+                mixed_busy = busy & penalized_cells
+            else:
+                uniform_busy = busy
+                mixed_busy = None
+            if uniform_busy.any():
+                zero_mask = (
+                    self._arange(n_max)[None, None, :] < idle[:, :, None]
+                ) & uniform_busy[:, :, None]
+                caps[zero_mask] = 0.0
+            if mixed_busy is not None and mixed_busy.any():
+                for a, level in zip(*np.nonzero(mixed_busy)):
+                    cell_caps = caps[a, level, : counts[a, level]]
+                    rank = np.argsort(-cell_caps)
+                    cell_caps[rank[: idle[a, level]]] = 0.0
+
+        pending = self.backlog[ix]
+        share = pending / counts
+        # vals[0] = per-core processed, vals[1] = per-core capacity; the
+        # stacked layout lets one column sweep reduce both.
+        vals = self._sweep_buffers.get((batch, n_max))
+        if vals is None:
+            vals = np.empty((2, batch, _NUM_LEVELS, n_max))
+            self._sweep_buffers[(batch, n_max)] = vals
+        np.minimum(share[:, :, None], caps, out=vals[0])
+        vals[1] = caps
+        # Left-to-right column accumulation: numpy's pairwise summation
+        # of fewer than 8 elements.
+        totals = vals[..., 0].copy()
+        for j in range(1, min(n_max, 7)):
+            totals += vals[..., j]
+        if n_max >= 8:
+            # Cells of 8..15 cores follow numpy's unrolled-8 pairwise
+            # path: a balanced tree over the first eight values plus a
+            # sequential tail (columns past a cell's count add +0.0).
+            tree = (
+                (vals[..., 0] + vals[..., 1]) + (vals[..., 2] + vals[..., 3])
+            ) + ((vals[..., 4] + vals[..., 5]) + (vals[..., 6] + vals[..., 7]))
+            for j in range(8, n_max):
+                tree += vals[..., j]
+            totals = np.where(counts >= 8, tree, totals)
+
+        tp, tc = totals[0], totals[1]
+        self.processed[ix] = tp
+        self.capacity[ix] = tc
+        self.utilization[ix] = np.minimum(1.0, tp / tc)
+        self.backlog[ix] = np.maximum(0.0, pending - tp)
+
+    def _process_intervals_reference(self, rows: np.ndarray) -> None:
+        """Per-cell dispatch loop — the scalar simulator's exact inner loop.
+
+        Serves the B=1 view (where the grouped gather costs more than it
+        saves) and non-polling dispatchers; bit-identical to the grouped
+        kernel where both apply.
+        """
+        capability = self._capability
+        for slot in rows.tolist():
+            level_row = self.core_level[slot]
+            cooldown_row = self.cooldown[slot]
+            no_penalty = not (cooldown_row > 0).any()
+            for level_index in range(_NUM_LEVELS):
+                core_count = int(self.counts[slot, level_index])
+                idle = int(self.idle[slot, level_index])
+                if idle == 0 and no_penalty:
+                    capacities, total_capacity = self._uniform_capacities(core_count)
+                else:
+                    if no_penalty:
+                        capacities = np.full(core_count, capability, dtype=float)
+                    else:
+                        member = level_row == level_index
+                        capacities = np.where(
+                            cooldown_row[member] > 0,
+                            self._penalized_capability,
+                            capability,
+                        ).astype(float)
+                    if idle > 0:
+                        order = np.argsort(-capacities)
+                        capacities[order[:idle]] = 0.0
+                    total_capacity = float(capacities.sum())
+                pending = self.backlog[slot, level_index]
+                if self._dispatch_is_polling and capacities.size:
+                    processed_kb = np.minimum(pending / capacities.size, capacities)
+                else:
+                    processed_kb = self._dispatch(pending, capacities).processed_kb
+                total_processed = float(processed_kb.sum())
+                self.processed[slot, level_index] = total_processed
+                self.capacity[slot, level_index] = total_capacity
+                self.utilization[slot, level_index] = (
+                    min(1.0, total_processed / total_capacity)
+                    if total_capacity > 0
+                    else 0.0
+                )
+                self.backlog[slot, level_index] = max(0.0, pending - total_processed)
+
+    def _arange(self, n: int) -> np.ndarray:
+        """Cached read-only ``np.arange(n)`` (hot-path index helper)."""
+        cached = self._arange_cache.get(n)
+        if cached is None:
+            cached = np.arange(n)
+            cached.setflags(write=False)
+            self._arange_cache[n] = cached
+        return cached
+
+    def _uniform_capacities(self, core_count: int) -> Tuple[np.ndarray, float]:
+        """Cached (read-only array, pairwise sum) of full-speed cores."""
+        cached = self._capacity_cache.get(core_count)
+        if cached is None:
+            array = np.full(core_count, self._capability, dtype=float)
+            array.setflags(write=False)
+            cached = (array, float(array.sum()))
+            self._capacity_cache[core_count] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record_interval_metrics(self, rows: np.ndarray, actions: np.ndarray) -> None:
+        for slot in rows.tolist():
+            metrics = IntervalMetrics(
+                interval=int(self.interval_index[slot]) - 1,
+                action=action_from_index(int(actions[slot])),
+                migration_applied=bool(self.migration_applied[slot]),
+                core_counts=dict(zip(LEVELS, (int(c) for c in self.counts[slot]))),
+                utilization=dict(zip(LEVELS, self.utilization[slot].tolist())),
+                incoming_kb=dict(zip(LEVELS, self.incoming[slot].tolist())),
+                processed_kb=dict(zip(LEVELS, self.processed[slot].tolist())),
+                backlog_kb=dict(zip(LEVELS, self.backlog[slot].tolist())),
+                capacity_kb=dict(zip(LEVELS, self.capacity[slot].tolist())),
+                cache_miss_rate=float(self.cache_miss[slot]),
+                idle_cores=dict(zip(LEVELS, (int(c) for c in self.idle[slot]))),
+            )
+            self.episodes[slot].record(metrics)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
@@ -34,16 +35,36 @@ def _canonical_json(payload: Mapping[str, Any]) -> str:
     return json.dumps(_to_jsonable(dict(payload)), indent=2, sort_keys=True)
 
 
-def save_json(path: PathLike, payload: Mapping[str, Any]) -> None:
-    """Write ``payload`` to ``path`` as pretty-printed JSON."""
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader (or a rerun inspecting previous results) either sees the
+    complete old file or the complete new one — a process killed
+    mid-write can no longer leave a truncated file that later parses as
+    a corrupt result.  The temp file lives in the target directory so
+    the final rename never crosses filesystems; it is unlinked on any
+    write failure.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    temp_path = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with temp_path.open("w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(temp_path, path)
+    except OSError as exc:
+        temp_path.unlink(missing_ok=True)
+        raise SerializationError(f"could not write to {path}: {exc}") from exc
+
+
+def save_json(path: PathLike, payload: Mapping[str, Any]) -> None:
+    """Write ``payload`` to ``path`` as pretty-printed JSON, atomically."""
+    path = Path(path)
     try:
         text = _canonical_json(payload)
-        with path.open("w", encoding="utf-8") as fh:
-            fh.write(text)
-    except (TypeError, OSError) as exc:
+    except TypeError as exc:
         raise SerializationError(f"could not write JSON to {path}: {exc}") from exc
+    atomic_write_text(path, text)
 
 
 def load_json(path: PathLike) -> Dict[str, Any]:

@@ -161,6 +161,36 @@ class TestActBatch:
         # The inactive row's generator is untouched.
         assert rngs[1].random() == np.random.default_rng(1).random()
 
+    def test_inactive_rows_keep_hidden_and_active_rows_match_full_batch(
+        self, tiny_policy
+    ):
+        """The forward pass skips inactive rows: they keep their input
+        hidden state, and — because every inference kernel is row-wise
+        batch-size stable — the active rows are bit-identical to a
+        full-batch call."""
+        rng = np.random.default_rng(4)
+        obs = rng.random((4, tiny_policy.config.observation_dim))
+        hidden = rng.random((4, tiny_policy.config.hidden_size)) * 0.1
+        active = np.array([True, False, True, False])
+        masked = tiny_policy.act_batch(
+            obs, hidden, rngs=[np.random.default_rng(i) for i in range(4)],
+            greedy=False, active=active,
+        )
+        full = tiny_policy.act_batch(
+            obs, hidden, rngs=[np.random.default_rng(i) for i in range(4)],
+            greedy=False,
+        )
+        for i in (1, 3):
+            np.testing.assert_array_equal(masked.hidden_states[i], hidden[i])
+            assert masked.actions[i] == 0
+        for i in (0, 2):
+            assert masked.actions[i] == full.actions[i]
+            np.testing.assert_array_equal(
+                masked.hidden_states[i], full.hidden_states[i]
+            )
+            np.testing.assert_array_equal(masked.log_probs[i], full.log_probs[i])
+            assert masked.values[i] == full.values[i]
+
 
 class TestVectorizedReturns:
     def _trajectory(self, rewards):

@@ -119,10 +119,38 @@ class TestParallelEquivalence:
         for reference, sharded in zip(batched, parallel):
             _assert_identical(reference, sharded)
 
-    def test_empty_traces_rejected(self, system_config, tiny_policy):
+    def test_empty_traces_collects_nothing(self, system_config, tiny_policy):
+        """Zero episodes is a no-op, not an error: no shards are created."""
         collector = ParallelRolloutCollector(system_config, num_workers=2)
-        with pytest.raises(TrainingError):
-            collector.collect(tiny_policy, [], base_seed=0)
+        assert collector.collect(tiny_policy, [], base_seed=0) == []
+
+    def test_fewer_episodes_than_workers_matches_batched(
+        self, system_config, real_traces, tiny_policy
+    ):
+        """Episode count below the worker count must shrink the shard
+        layout (never create empty shards) and keep the merge
+        bit-identical to the lockstep reference."""
+        traces = list(real_traces)[:3]
+        reward_config = RewardConfig(mode="per_step_penalty")
+        episode_rngs, action_rngs = derive_episode_streams(17, len(traces))
+        reference = BatchedRolloutCollector(
+            VectorStorageAllocationEnv(system_config, reward_config)
+        ).collect_batch(
+            tiny_policy, traces, episode_rngs=episode_rngs, action_rngs=action_rngs
+        )
+        collector = ParallelRolloutCollector(
+            system_config, reward_config, num_workers=8
+        )
+        sharded = collector.collect(tiny_policy, traces, base_seed=17)
+        assert len(sharded) == len(reference)
+        for expected, actual in zip(reference, sharded):
+            _assert_identical(expected, actual)
+
+    def test_single_episode_many_workers(self, system_config, real_traces, tiny_policy):
+        collector = ParallelRolloutCollector(system_config, num_workers=4)
+        trajectories = collector.collect(tiny_policy, list(real_traces)[:1], base_seed=3)
+        assert len(trajectories) == 1
+        assert len(trajectories[0]) > 0
 
     def test_invalid_worker_count_rejected(self, system_config):
         with pytest.raises(TrainingError):

@@ -168,6 +168,76 @@ class TestSweepExecution:
         assert (tmp_path / "jobs" / f"{failed['name']}.json").exists()
         assert "failed" in result.table()
 
+    def test_resume_skips_verified_jobs_and_recomputes_missing(
+        self, small_spec, tmp_path
+    ):
+        """Deleting one job file and rerunning with resume=True recomputes
+        exactly that job, byte-identically; the other three are loaded."""
+        first = SweepRunner(small_spec, output_dir=tmp_path, num_workers=1).run()
+        assert first.num_resumed == 0
+        jobs_dir = tmp_path / "jobs"
+        original_bytes = {
+            path.name: path.read_bytes() for path in sorted(jobs_dir.glob("*.json"))
+        }
+        victim = sorted(jobs_dir.glob("*.json"))[1]
+        victim_name = victim.name
+        victim.unlink()
+
+        executed = []
+        second = SweepRunner(
+            small_spec, output_dir=tmp_path, num_workers=1, resume=True,
+            progress=lambda done, total, record: executed.append(
+                (done, total, record["name"])
+            ),
+        ).run()
+        # Only the deleted job was recomputed...
+        assert executed == [(1, 1, victim_name[: -len(".json")])]
+        assert second.num_resumed == 3
+        assert second.num_jobs == 4
+        # ...and every file (including the recomputed one) is byte-identical.
+        for path in sorted(jobs_dir.glob("*.json")):
+            assert path.read_bytes() == original_bytes[path.name], path.name
+
+    def test_resume_reruns_corrupt_and_failed_records(self, small_spec, tmp_path):
+        SweepRunner(small_spec, output_dir=tmp_path, num_workers=1).run()
+        jobs_dir = tmp_path / "jobs"
+        files = sorted(jobs_dir.glob("*.json"))
+        # Truncate one file (simulates a killed non-atomic writer) and
+        # tamper with another one's metrics (digest mismatch).
+        files[0].write_text(files[0].read_text()[:40])
+        tampered = load_json(files[1])
+        tampered["metrics"]["num_traces"] = 999
+        files[1].write_text(__import__("json").dumps(tampered))
+
+        executed = []
+        result = SweepRunner(
+            small_spec, output_dir=tmp_path, num_workers=1, resume=True,
+            progress=lambda done, total, record: executed.append(record["name"]),
+        ).run()
+        assert result.num_resumed == 2
+        assert len(executed) == 2
+        assert not result.failures
+
+    def test_resume_requires_output_dir(self, small_spec):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(small_spec, resume=True)
+
+    def test_resume_with_workers_matches_fresh_run(self, small_spec, tmp_path):
+        fresh_dir = tmp_path / "fresh"
+        resumed_dir = tmp_path / "resumed"
+        SweepRunner(small_spec, output_dir=fresh_dir, num_workers=1).run()
+        SweepRunner(small_spec, output_dir=resumed_dir, num_workers=1).run()
+        for path in sorted((resumed_dir / "jobs").glob("*.json"))[:2]:
+            path.unlink()
+        SweepRunner(
+            small_spec, output_dir=resumed_dir, num_workers=2, resume=True
+        ).run()
+        for fresh, resumed in zip(
+            sorted((fresh_dir / "jobs").glob("*.json")),
+            sorted((resumed_dir / "jobs").glob("*.json")),
+        ):
+            assert fresh.read_bytes() == resumed.read_bytes(), fresh.name
+
     def test_record_digest_matches_payload(self, small_spec):
         job = expand_jobs(small_spec)[0]
         record = execute_job(job)

@@ -4,7 +4,49 @@ import numpy as np
 import pytest
 
 from repro.errors import SerializationError
-from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+from repro.utils.serialization import (
+    atomic_write_text,
+    load_json,
+    load_npz,
+    save_json,
+    save_npz,
+)
+
+
+class TestAtomicWrites:
+    def test_replaces_content_and_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out" / "file.txt"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+        assert [p.name for p in target.parent.iterdir()] == ["file.txt"]
+
+    def test_failed_json_write_preserves_existing_file(self, tmp_path):
+        target = tmp_path / "result.json"
+        save_json(target, {"value": 1})
+        before = target.read_bytes()
+        with pytest.raises(SerializationError):
+            save_json(target, {"value": object()})
+        # The old complete file survives; no temp litter either.
+        assert target.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["result.json"]
+
+    def test_save_json_is_atomic_rename(self, tmp_path, monkeypatch):
+        """save_json goes through atomic_write_text (temp + os.replace)."""
+        calls = []
+        import repro.utils.serialization as serialization
+
+        real_replace = serialization.os.replace
+
+        def spying_replace(src, dst):
+            calls.append((str(src), str(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(serialization.os, "replace", spying_replace)
+        save_json(tmp_path / "a.json", {"x": 1})
+        assert len(calls) == 1
+        assert calls[0][1].endswith("a.json")
+        assert calls[0][0] != calls[0][1]
 
 
 class TestJson:

@@ -1,0 +1,283 @@
+"""Equivalence suite for the struct-of-arrays simulator core.
+
+The contract: slot ``i`` of a :class:`VectorSimulatorState` episode is
+bit-identical to a scalar :class:`StorageSimulator` episode on the same
+trace with the same rng stream, for every batch size, kernel choice and
+batch composition (partial batches of different-length traces, fully
+finished batches).  These tests also pin the numerical foundations the
+vectorized kernels stand on — numpy's row-wise reductions matching
+standalone vector reductions, and the replayed pairwise-summation
+order — so a numpy upgrade that changes them fails loudly here instead
+of silently drifting a golden trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.default import DefaultPolicy
+from repro.agents.greedy import GreedyUtilizationPolicy
+from repro.agents.proportional import ProportionalAllocationPolicy
+from repro.env.environment import StorageAllocationEnv
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.errors import SimulationError
+from repro.storage.dispatcher import pairwise_sum_ragged
+from repro.storage.simulator import StorageSimulator, StorageSystemConfig
+from repro.storage.vector_state import VectorSimulatorState
+
+
+def _batch_traces(real_traces, batch):
+    """``batch`` traces of heterogeneous lengths from the fixture set."""
+    traces = list(real_traces)
+    return [traces[i % len(traces)] for i in range(batch)]
+
+
+def _drive_and_compare(config, traces, seeds, kernel, action_seed=101):
+    """Step a vector state and per-slot scalar simulators in lockstep.
+
+    Actions are drawn per-slot from independent seeded generators (only
+    for unfinished slots, exactly like a collector would), and every
+    per-interval quantity is compared bitwise.
+    """
+    batch = len(traces)
+    state = VectorSimulatorState(config, record_metrics=False)
+    if kernel == "grouped":
+        state._grouped_min_rows = 1
+    elif kernel == "reference":
+        state._grouped_min_rows = 10**9
+    state.reset(traces, rngs=list(seeds))
+    scalars = []
+    for trace, seed in zip(traces, seeds):
+        simulator = StorageSimulator(config, rng=seed, record_metrics=False)
+        simulator.reset(trace)
+        scalars.append(simulator)
+    action_rngs = [np.random.default_rng(action_seed + i) for i in range(batch)]
+
+    steps = 0
+    while not state.done.all():
+        was_done = state.done.copy()
+        actions = np.zeros(batch, dtype=np.int64)
+        for i in range(batch):
+            if not was_done[i]:
+                actions[i] = int(action_rngs[i].integers(0, 7))
+        state.step(actions)
+        for i in range(batch):
+            if was_done[i]:
+                continue
+            scalar = scalars[i]
+            scalar.step(int(actions[i]))
+            values = scalar.last_step_values
+            assert tuple(state.incoming[i]) == values.incoming_kb
+            assert tuple(state.processed[i]) == values.processed_kb
+            assert tuple(state.capacity[i]) == values.capacity_kb
+            assert tuple(state.utilization[i]) == values.utilization
+            assert tuple(state.backlog[i]) == values.backlog_kb
+            assert list(state.counts[i]) == list(scalar.core_counts().values())
+            assert bool(state.done[i]) == scalar.is_done
+        steps += 1
+        assert steps < 10_000, "episodes did not converge"
+    for i, scalar in enumerate(scalars):
+        assert int(state.steps_taken[i]) == scalar.makespan
+        assert bool(state.truncated[i]) == scalar.episode_metrics.truncated
+    return state
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("kernel", ["grouped", "reference"])
+    @pytest.mark.parametrize("batch", [1, 3, 8])
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_matches_scalar_simulator(self, real_traces, kernel, batch, seed):
+        config = StorageSystemConfig()
+        traces = _batch_traces(real_traces, batch)
+        _drive_and_compare(
+            config, traces, [seed + i for i in range(batch)], kernel
+        )
+
+    @pytest.mark.parametrize("kernel", ["grouped", "reference"])
+    def test_zero_idle_rate(self, real_traces, kernel):
+        config = StorageSystemConfig(idle_rate=0.0)
+        _drive_and_compare(config, _batch_traces(real_traces, 4), [5, 6, 7, 8], kernel)
+
+    @pytest.mark.parametrize("kernel", ["grouped", "reference"])
+    def test_heavy_penalty_config(self, real_traces, kernel):
+        config = StorageSystemConfig(
+            migration_penalty=0.5, migration_cooldown_intervals=3, idle_rate=0.1
+        )
+        _drive_and_compare(config, _batch_traces(real_traces, 4), [1, 2, 3, 4], kernel)
+
+    def test_grouped_supported_flag_respects_dispatcher(self):
+        state = VectorSimulatorState(StorageSystemConfig(dispatcher="proportional"))
+        assert not state._grouped_supported
+
+    def test_proportional_dispatcher_matches_scalar(self, real_traces):
+        config = StorageSystemConfig(dispatcher="proportional")
+        _drive_and_compare(
+            config, _batch_traces(real_traces, 3), [0, 1, 2], "reference"
+        )
+
+
+class TestBatchLifecycle:
+    def test_all_finished_mask_is_a_noop(self, real_traces):
+        state = VectorSimulatorState(StorageSystemConfig())
+        traces = _batch_traces(real_traces, 3)
+        state.reset(traces, rngs=[0, 1, 2])
+        while not state.done.all():
+            state.step(np.zeros(3, dtype=np.int64))
+        makespans = state.steps_taken.copy()
+        backlog = state.backlog.copy()
+        stepped = state.step(np.ones(3, dtype=np.int64))
+        assert not stepped.any()
+        np.testing.assert_array_equal(state.steps_taken, makespans)
+        np.testing.assert_array_equal(state.backlog, backlog)
+
+    def test_partial_batch_slots_freeze(self, real_traces):
+        """Shorter episodes stop consuming randomness once finished."""
+        traces = sorted(list(real_traces), key=len)[:2]
+        config = StorageSystemConfig()
+        # Lone run of the longer trace with its own stream.
+        lone = VectorSimulatorState(config)
+        lone.reset([traces[1]], rngs=[42])
+        while not lone.done.all():
+            lone.step(np.zeros(1, dtype=np.int64))
+        # Same trace sharing a batch with a shorter one that finishes first.
+        pair = VectorSimulatorState(config)
+        pair.reset(traces, rngs=[7, 42])
+        while not pair.done.all():
+            pair.step(np.zeros(2, dtype=np.int64))
+        assert int(pair.steps_taken[1]) == int(lone.steps_taken[0])
+
+    def test_reset_validations(self, real_traces):
+        state = VectorSimulatorState(StorageSystemConfig())
+        with pytest.raises(SimulationError):
+            state.reset([])
+        with pytest.raises(SimulationError):
+            state.reset(list(real_traces)[:2], rngs=[0])
+        with pytest.raises(SimulationError):
+            state.step(np.zeros(1, dtype=np.int64))
+
+    @pytest.mark.parametrize("action", [-1, 7, 99])
+    def test_out_of_range_actions_rejected(self, real_traces, action):
+        """Negative indices must not wrap through fancy indexing into a
+        silent (wrong) migration; out-of-range raises cleanly instead."""
+        state = VectorSimulatorState(StorageSystemConfig())
+        state.reset(list(real_traces)[:2], rngs=[0, 1])
+        counts_before = state.counts.copy()
+        with pytest.raises(SimulationError):
+            state.step(np.array([action, 0], dtype=np.int64))
+        np.testing.assert_array_equal(state.counts, counts_before)
+        # The scalar B=1 view rejects the same inputs.
+        simulator = StorageSimulator(StorageSystemConfig(), rng=0)
+        simulator.reset(list(real_traces)[0])
+        with pytest.raises(SimulationError):
+            simulator.step(action)
+
+    def test_core_pool_view_is_a_snapshot(self, real_traces):
+        state = VectorSimulatorState(StorageSystemConfig())
+        state.reset(list(real_traces)[:1], rngs=[0])
+        pool = state.core_pool_view(0)
+        assert pool.counts_vector() == list(state.counts[0])
+        pool.migrate_one(pool.cores[0].level, pool.cores[-1].level)
+        # Mutating the snapshot does not write back into the arrays.
+        assert state.core_pool_view(0).counts_vector() == list(state.counts[0])
+
+
+class TestAgentEquivalence:
+    """Baseline agents drive the vector env and the sequential env to
+    bit-identical episodes for every batch composition."""
+
+    @pytest.mark.parametrize("batch", [1, 4])
+    @pytest.mark.parametrize(
+        "agent_factory",
+        [
+            lambda config: DefaultPolicy(),
+            lambda config: GreedyUtilizationPolicy(),
+            lambda config: ProportionalAllocationPolicy(config),
+        ],
+        ids=["default", "greedy", "proportional"],
+    )
+    def test_vector_env_matches_sequential(
+        self, system_config, real_traces, batch, agent_factory
+    ):
+        traces = _batch_traces(real_traces, batch)
+        venv = VectorStorageAllocationEnv(system_config, record_metrics=True)
+        observations = venv.reset(traces, rngs=list(range(batch)))
+        agents = [agent_factory(system_config) for _ in range(batch)]
+        for agent in agents:
+            agent.reset()
+        encoder = venv.observation_encoder
+        vector_rewards = [[] for _ in range(batch)]
+        while not venv.all_done:
+            raw = venv.raw_observations()
+            dones = venv.dones
+            actions = np.zeros(batch, dtype=np.int64)
+            for i in range(batch):
+                if not dones[i]:
+                    actions[i] = int(agents[i].act(encoder.split_raw(raw[i])))
+            result = venv.step(actions)
+            for i in range(batch):
+                if result.stepped[i]:
+                    vector_rewards[i].append(float(result.rewards[i]))
+
+        for i, trace in enumerate(traces):
+            env = StorageAllocationEnv(system_config)
+            observation = env.reset(trace, rng=i)
+            agent = agent_factory(system_config)
+            agent.reset()
+            rewards = []
+            while True:
+                step = env.step(agent.act(observation))
+                observation = step.observation
+                rewards.append(step.reward)
+                if step.done:
+                    break
+            assert env.simulator.makespan == int(
+                venv.simulator_state.steps_taken[i]
+            )
+            assert rewards == vector_rewards[i]
+
+
+class TestPairwiseFoundations:
+    """Pins of the numpy reduction behaviours the kernels rely on."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 8, 9, 12, 15, 16, 31])
+    def test_rowwise_sum_matches_vector_sum(self, n):
+        rng = np.random.default_rng(n)
+        matrix = np.ascontiguousarray(rng.uniform(0.0, 1e6, size=(64, n)))
+        np.testing.assert_array_equal(
+            matrix.sum(axis=1),
+            np.array([matrix[i].sum() for i in range(matrix.shape[0])]),
+        )
+
+    @pytest.mark.parametrize("n_max", [1, 4, 7, 8, 12, 15, 20, 40])
+    def test_pairwise_sum_ragged_matches_prefix_sums(self, n_max):
+        rng = np.random.default_rng(n_max)
+        values = rng.uniform(0.0, 1e6, size=(128, n_max))
+        lengths = rng.integers(0, n_max + 1, size=128)
+        result = pairwise_sum_ragged(values, lengths)
+        expected = np.array(
+            [values[i, : lengths[i]].sum() for i in range(values.shape[0])]
+        )
+        np.testing.assert_array_equal(result, expected)
+
+    def test_argsort_of_constant_rows_is_identity(self):
+        for n in range(1, 13):
+            np.testing.assert_array_equal(
+                np.argsort(np.full(n, -40000.0)), np.arange(n)
+            )
+
+    def test_rowwise_argsort_matches_vector_argsort(self):
+        rng = np.random.default_rng(0)
+        values = rng.choice([40000.0, 32000.0, 0.0], size=(200, 9))
+        np.testing.assert_array_equal(
+            np.argsort(-values, axis=1),
+            np.stack([np.argsort(-values[i]) for i in range(values.shape[0])]),
+        )
+
+    def test_masked_poisson_matches_scalar_draws(self):
+        lam = np.array([0.24, 0.12, 0.48])
+        for seed in range(10):
+            vector_rng = np.random.default_rng(seed)
+            scalar_rng = np.random.default_rng(seed)
+            vector_draws = vector_rng.poisson(lam)
+            scalar_draws = np.array([scalar_rng.poisson(l) for l in lam])
+            np.testing.assert_array_equal(vector_draws, scalar_draws)
+            assert vector_rng.integers(1 << 30) == scalar_rng.integers(1 << 30)
