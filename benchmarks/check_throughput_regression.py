@@ -1,0 +1,115 @@
+"""CI throughput regression guard for the batched-rollout benchmark.
+
+Compares the JSON emitted by ``test_bench_rollout_throughput.py`` against
+a committed baseline (``benchmarks/results/BENCH_rollout_throughput_*.json``)
+and fails when batched steps/sec regressed by more than the threshold.
+
+Raw steps/sec are not comparable across machines (CI runners differ by
+2-3x from the development box and from each other), so the comparison is
+**machine-normalised**: the current batched rate is rescaled by the ratio
+of the baseline's sequential rate to the current sequential rate — the
+sequential collector acts as the per-run hardware calibration — which
+makes the check equivalent to comparing the batched-vs-sequential
+speedups.  Both raw and normalised numbers are printed so a genuine
+regression is easy to read off the log.
+
+Usage::
+
+    python benchmarks/check_throughput_regression.py \
+        --current bench-artifacts/BENCH_rollout_throughput.json \
+        --baseline benchmarks/results/BENCH_rollout_throughput_pr4.json
+
+The threshold (default 0.30 = fail on >30% regression) can be overridden
+with ``--threshold`` or the ``BENCH_REGRESSION_THRESHOLD`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _rates(payload: dict) -> tuple:
+    """(batch_size, sequential, batched) steps/sec from a benchmark JSON.
+
+    Accepts both the flat shape the benchmark emits and the committed
+    before/after result files (where the relevant numbers live under
+    ``after.pytest_capture`` and the batch size at the top level).
+    """
+    if "batched_steps_per_s" in payload:
+        record = payload
+        batch = payload.get("batch_size")
+    elif "after" in payload and "pytest_capture" in payload["after"]:
+        record = payload["after"]["pytest_capture"]
+        batch = payload.get("batch_size")
+    else:
+        raise SystemExit(f"unrecognised benchmark JSON shape: {sorted(payload)}")
+    return (
+        batch,
+        float(record["sequential_steps_per_s"]),
+        float(record["batched_steps_per_s"]),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, type=Path,
+                        help="JSON emitted by the benchmark run under test")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.30")),
+        help="maximum tolerated fractional regression (default 0.30, "
+             "env BENCH_REGRESSION_THRESHOLD)",
+    )
+    args = parser.parse_args(argv)
+
+    base_batch, base_sequential, base_batched = _rates(_load(args.baseline))
+    current_batch, current_sequential, current_batched = _rates(_load(args.current))
+    if min(base_sequential, base_batched, current_sequential, current_batched) <= 0:
+        raise SystemExit("benchmark rates must be positive")
+    if base_batch is not None and current_batch is not None and base_batch != current_batch:
+        # The batched-vs-sequential speedup scales with B, so comparing
+        # runs at different batch sizes would flag phantom regressions.
+        raise SystemExit(
+            f"batch size mismatch: current run used B={current_batch} but the "
+            f"baseline was recorded at B={base_batch}; rerun the benchmark with "
+            f"ROLLOUT_BENCH_BATCH={base_batch} (or switch baselines)"
+        )
+
+    calibration = base_sequential / current_sequential
+    normalised_batched = current_batched * calibration
+    ratio = normalised_batched / base_batched
+    # Equivalent formulation: speedup_now / speedup_baseline.
+    print(f"baseline:   sequential {base_sequential:10.1f}  batched {base_batched:10.1f}  "
+          f"speedup {base_batched / base_sequential:.2f}")
+    print(f"current:    sequential {current_sequential:10.1f}  batched {current_batched:10.1f}  "
+          f"speedup {current_batched / current_sequential:.2f}")
+    print(f"normalised: batched {normalised_batched:10.1f} "
+          f"(hardware calibration x{calibration:.3f})")
+    print(f"ratio vs baseline: {ratio:.3f}  (fail below {1.0 - args.threshold:.3f})")
+
+    if ratio < 1.0 - args.threshold:
+        print(
+            f"FAIL: batched rollout throughput regressed by "
+            f"{(1.0 - ratio) * 100:.1f}% (> {args.threshold * 100:.0f}% allowed)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: batched rollout throughput within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,16 @@ def main() -> None:
     parser.add_argument("--episodes", type=int, default=8)
     parser.add_argument("--duration", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--persistent", action="store_true",
+        help="back the sharded collection with a persistent worker pool "
+             "(resident simulator state + weight-delta broadcasts)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=1,
+        help="number of collection epochs (persistent pools amortise "
+             "their spawn cost across epochs)",
+    )
     args = parser.parse_args()
 
     system = StorageSystemConfig()
@@ -49,10 +59,13 @@ def main() -> None:
     batched_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel = ParallelRolloutCollector(system, num_workers=args.workers).collect(
-        policy, traces, base_seed=base_seed
-    )
-    parallel_s = time.perf_counter() - start
+    with ParallelRolloutCollector(
+        system, num_workers=args.workers, persistent=args.persistent
+    ) as collector:
+        for _ in range(max(0, args.epochs - 1)):
+            collector.collect(policy, traces, base_seed=base_seed)
+        parallel = collector.collect(policy, traces, base_seed=base_seed)
+    parallel_s = (time.perf_counter() - start) / max(1, args.epochs)
 
     for reference, sharded in zip(batched, parallel):
         assert reference.trace_name == sharded.trace_name
@@ -65,7 +78,8 @@ def main() -> None:
     print(f"{len(traces)} episodes, {steps} environment steps")
     print(f"lockstep batch (1 process):   {batched_s:.2f}s "
           f"({steps / batched_s:.0f} steps/s)")
-    print(f"sharded ({args.workers} workers):         {parallel_s:.2f}s "
+    mode = "persistent pool" if args.persistent else "fork per epoch"
+    print(f"sharded ({args.workers} workers, {mode}): {parallel_s:.2f}s/epoch "
           f"({steps / parallel_s:.0f} steps/s)")
     print("trajectories bit-identical: True")
 

@@ -24,6 +24,7 @@ from repro.drl.rollout import (
     derive_episode_streams,
 )
 from repro.drl.parallel import ParallelRolloutCollector, shard_indices
+from repro.drl.worker_pool import PersistentWorkerPool
 from repro.drl.a2c import A2CConfig, A2CTrainer, EpochRecord, TrainingHistory
 from repro.drl.curriculum import CurriculumConfig, CurriculumTrainer
 from repro.drl.exploration import EpsilonSchedule

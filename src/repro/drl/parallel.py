@@ -20,7 +20,6 @@ import traceback
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
 from repro.drl.rollout import (
@@ -113,6 +112,14 @@ class ParallelRolloutCollector:
     ``num_workers <= 1`` degrades to running the shards in-process (no
     multiprocessing import-time or pickling cost), which keeps the class
     usable as a drop-in collector on single-core machines.
+
+    ``persistent=True`` backs the collector with a
+    :class:`~repro.drl.worker_pool.PersistentWorkerPool`: workers live
+    across ``collect`` calls, keep their simulator stack and policy
+    weights resident, and receive only weight deltas + shard descriptors
+    per epoch — same results, far less per-epoch pickling.  The pool is
+    created lazily on first use; close it with :meth:`close` or use the
+    collector as a context manager.
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class ParallelRolloutCollector:
         reward_config: Optional[RewardConfig] = None,
         num_workers: int = 2,
         start_method: Optional[str] = None,
+        persistent: bool = False,
     ) -> None:
         if num_workers <= 0:
             raise TrainingError(f"num_workers must be positive, got {num_workers}")
@@ -129,6 +137,35 @@ class ParallelRolloutCollector:
         self.reward_config = reward_config
         self.num_workers = int(num_workers)
         self.start_method = start_method
+        self.persistent = bool(persistent)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Persistent-pool lifecycle
+    # ------------------------------------------------------------------
+    def _persistent_pool(self):
+        if self._pool is None:
+            from repro.drl.worker_pool import PersistentWorkerPool
+
+            self._pool = PersistentWorkerPool(
+                self.system_config,
+                self.reward_config,
+                num_workers=self.num_workers,
+                start_method=self.start_method,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRolloutCollector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _make_jobs(
         self,
@@ -183,12 +220,16 @@ class ParallelRolloutCollector:
         traces = list(traces)
         if not traces:
             return []
-        jobs = self._make_jobs(policy, traces, base_seed, epsilon, greedy)
 
         # Daemonic workers (e.g. a SweepRunner job process) cannot spawn
         # child processes; shard in-process there — identical results,
         # since the worker layout never affects the rng streams.
         in_daemonic_worker = multiprocessing.current_process().daemon
+        if self.persistent and self.num_workers > 1 and not in_daemonic_worker:
+            return self._persistent_pool().collect(
+                policy, traces, base_seed=base_seed, epsilon=epsilon, greedy=greedy
+            )
+        jobs = self._make_jobs(policy, traces, base_seed, epsilon, greedy)
         if len(jobs) == 1 or self.num_workers == 1 or in_daemonic_worker:
             outcomes = [_collect_shard(job) for job in jobs]
         else:

@@ -13,7 +13,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.autograd import functional as F
-from repro.autograd.functional import log_softmax_np, matmul_rows_np
+from repro.autograd.functional import _GEMM_MIN_COLS, log_softmax_np, matmul_rows_np
 from repro.autograd.tensor import Tensor, no_grad
 from repro.env.observation import OBSERVATION_DIM
 from repro.errors import ConfigurationError, ShapeError
@@ -56,6 +56,15 @@ class PolicyStepOutput:
     value: float
     hidden_state: np.ndarray
     valid_action_mask: Optional[np.ndarray] = None
+
+
+class GeneratorList(list):
+    """A list of ``np.random.Generator`` the caller vouches for.
+
+    :meth:`RecurrentPolicyValueNet.act_batch` skips its per-row seed
+    coercion for this type — the hot rollout loop re-validates the same
+    generators every interval otherwise.
+    """
 
 
 @dataclass(frozen=True)
@@ -131,8 +140,16 @@ class RecurrentPolicyValueNet(Module):
                 f"hiddens, got shape {hiddens.shape}"
             )
         next_hiddens = self.gru.forward_np(observations, hiddens)
-        logits = matmul_rows_np(next_hiddens, self.policy_head.weight.data) + self.policy_head.bias.data
-        values = (matmul_rows_np(next_hiddens, self.value_head.weight.data) + self.value_head.bias.data)[:, 0]
+        if observations.shape[0] >= 2 and self.config.num_actions >= _GEMM_MIN_COLS:
+            # Exactly what matmul_rows_np resolves to for this shape,
+            # minus its per-call validation (hot rollout path).
+            logits = next_hiddens @ self.policy_head.weight.data + self.policy_head.bias.data
+        else:
+            logits = matmul_rows_np(next_hiddens, self.policy_head.weight.data) + self.policy_head.bias.data
+        values = (
+            np.einsum("ij,jk->ik", next_hiddens, self.value_head.weight.data)
+            + self.value_head.bias.data
+        )[:, 0]
         return logits, values, next_hiddens
 
     def act(
@@ -197,7 +214,13 @@ class RecurrentPolicyValueNet(Module):
                 raise ConfigurationError(
                     f"act_batch got {len(rngs)} rngs for a batch of {batch}"
                 )
-            row_rngs = [new_rng(r) for r in rngs]
+            if type(rngs) is GeneratorList:
+                row_rngs = rngs
+            else:
+                row_rngs = [
+                    r if isinstance(r, np.random.Generator) else new_rng(r)
+                    for r in rngs
+                ]
         else:
             shared = new_rng(rngs)
             row_rngs = [shared] * batch
@@ -217,11 +240,10 @@ class RecurrentPolicyValueNet(Module):
             sub_hiddens = hiddens[active_rows]
             sub_rngs = [row_rngs[i] for i in active_rows.tolist()]
 
-        actions = np.zeros(batch, dtype=int)
         if sub_observations.shape[0] == 0:
             zeros = np.zeros((batch, self.config.num_actions))
             return BatchedPolicyStepOutput(
-                actions=actions,
+                actions=np.zeros(batch, dtype=int),
                 log_probs=zeros,
                 probabilities=zeros.copy(),
                 values=np.zeros(batch),
@@ -231,15 +253,33 @@ class RecurrentPolicyValueNet(Module):
         sub_logits, sub_values, sub_next = self.forward_np(sub_observations, sub_hiddens)
         sub_log_probs = log_softmax_np(sub_logits, axis=-1)
         sub_probs = np.exp(sub_log_probs)
-        sub_probs = sub_probs / sub_probs.sum(axis=-1, keepdims=True)
+        sub_probs /= sub_probs.sum(axis=-1, keepdims=True)
         # One batched cumulative sum serves every row's inverse-CDF draw
         # (a row of the axis-1 cumsum is identical to cumsum of the row).
         cdfs = None if greedy else np.cumsum(sub_probs, axis=-1)
-        if greedy and epsilon <= 0.0:
+        shared_stream = not isinstance(rngs, (list, tuple))
+        if epsilon > 0.0 and not shared_stream:
+            # A list may alias one generator across rows; batched draw
+            # ordering would then diverge from the scalar row-by-row
+            # consumption, so aliased lists take the scalar loop too.
+            shared_stream = len({id(r) for r in sub_rngs}) != len(sub_rngs)
+        if epsilon > 0.0 and shared_stream:
+            # A single generator serving every row is consumed strictly
+            # row by row (sample draw, epsilon draw, optional replacement
+            # draw per row, then the next row) — the batched draw order
+            # below would interleave it differently, so this path keeps
+            # the scalar loop.
+            sub_actions = np.zeros(len(sub_rngs), dtype=int)
+            for k, rng in enumerate(sub_rngs):
+                sub_actions[k] = self._pick_action(
+                    sub_probs[k], rng, epsilon, greedy,
+                    cdf=None if cdfs is None else cdfs[k],
+                )
+        elif greedy:
             # Row-wise argmax matches the per-row pick and no randomness
             # is consumed, so the whole batch resolves in one call.
             sub_actions = np.argmax(sub_probs, axis=1)
-        elif not greedy and epsilon <= 0.0:
+        else:
             # One uniform draw per active row (same order, same stream as
             # the scalar path), inverted through the batched CDFs: the
             # count of cdf entries <= draw equals searchsorted(side="right").
@@ -249,13 +289,18 @@ class RecurrentPolicyValueNet(Module):
             draws *= cdfs[:, -1]
             picked = (cdfs <= draws[:, None]).sum(axis=1)
             sub_actions = np.minimum(picked, self.config.num_actions - 1)
-        else:
-            sub_actions = np.zeros(len(sub_rngs), dtype=int)
+        if epsilon > 0.0 and not shared_stream:
+            # Epsilon-greedy replacement, batched: each row's generator
+            # draws its epsilon uniform after its (optional) sampling
+            # draw — the same per-stream order as the scalar
+            # ``_pick_action``, since the streams are independent — and
+            # only rows whose draw fires consume the ``integers`` variate.
+            sub_actions = np.asarray(sub_actions, dtype=int)
+            explore_draws = np.empty(len(sub_rngs))
             for k, rng in enumerate(sub_rngs):
-                sub_actions[k] = self._pick_action(
-                    sub_probs[k], rng, epsilon, greedy,
-                    cdf=None if cdfs is None else cdfs[k],
-                )
+                explore_draws[k] = rng.random()
+            for k in np.nonzero(explore_draws < epsilon)[0].tolist():
+                sub_actions[k] = int(sub_rngs[k].integers(self.config.num_actions))
 
         if all_active:
             actions = np.asarray(sub_actions, dtype=int)
@@ -263,6 +308,7 @@ class RecurrentPolicyValueNet(Module):
                 sub_log_probs, sub_probs, sub_values, sub_next,
             )
         else:
+            actions = np.zeros(batch, dtype=int)
             actions[active_rows] = sub_actions
             log_probs = np.zeros((batch, self.config.num_actions))
             probs = np.zeros((batch, self.config.num_actions))

@@ -19,12 +19,12 @@ Two collectors produce the same :class:`Trajectory` objects:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.drl.policy import RecurrentPolicyValueNet
+from repro.drl.policy import GeneratorList, RecurrentPolicyValueNet
 from repro.env.environment import StorageAllocationEnv
 from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import TrainingError
@@ -53,16 +53,111 @@ class Transition:
 
 
 @dataclass
-class Trajectory:
-    """A full episode of transitions plus episode-level outcomes."""
+class _TrajectoryColumns:
+    """Struct-of-arrays storage of one episode's transitions.
 
-    trace_name: str
-    transitions: List[Transition] = field(default_factory=list)
-    makespan: int = 0
-    truncated: bool = False
+    All arrays are time-major ``(T, ...)``.  This is what the batched
+    collector produces directly (one slice per slot out of its stacked
+    per-interval arrays) — no per-step :class:`Transition` objects are
+    built on the hot path.
+    """
+
+    observations: np.ndarray       # (T, obs_dim)
+    raw_observations: np.ndarray   # (T, obs_dim)
+    hidden_before: np.ndarray      # (T, hidden_dim)
+    hidden_after: np.ndarray       # (T, hidden_dim)
+    actions: np.ndarray            # (T,) int
+    rewards: np.ndarray            # (T,)
+    value_estimates: np.ndarray    # (T,)
+    dones: np.ndarray              # (T,) bool
+    valid_action_masks: Optional[np.ndarray]  # (T, num_actions) or None
+
+
+class Trajectory:
+    """A full episode of transitions plus episode-level outcomes.
+
+    Two interchangeable storage forms back the same interface:
+
+    * **transition list** — the sequential collector appends
+      :class:`Transition` objects one step at a time (and tests build
+      trajectories the same way);
+    * **column store** — the batched collector hands over time-major
+      arrays (:class:`_TrajectoryColumns`); ``transitions`` then
+      materialises the per-step objects lazily, only for consumers that
+      genuinely iterate steps (FSM interpretation, a few tests).
+
+    Array accessors (:meth:`observations`, :meth:`rewards`, …) always
+    return fresh arrays the caller may mutate freely.
+    """
+
+    __slots__ = ("trace_name", "makespan", "truncated", "_transitions", "_columns")
+
+    def __init__(
+        self,
+        trace_name: str,
+        transitions: Optional[List[Transition]] = None,
+        makespan: int = 0,
+        truncated: bool = False,
+        columns: Optional[_TrajectoryColumns] = None,
+    ) -> None:
+        if transitions is not None and columns is not None:
+            raise TrainingError(
+                "a Trajectory is backed by either transitions or columns, not both"
+            )
+        self.trace_name = trace_name
+        self.makespan = makespan
+        self.truncated = truncated
+        self._columns = columns
+        self._transitions: Optional[List[Transition]] = (
+            list(transitions) if transitions is not None
+            else ([] if columns is None else None)
+        )
+
+    @staticmethod
+    def from_columns(
+        trace_name: str,
+        columns: _TrajectoryColumns,
+        makespan: int = 0,
+        truncated: bool = False,
+    ) -> "Trajectory":
+        return Trajectory(
+            trace_name, makespan=makespan, truncated=truncated, columns=columns
+        )
+
+    @property
+    def transitions(self) -> List[Transition]:
+        """Per-step transition objects (materialised lazily from columns).
+
+        Materialisation hands ownership to the list form: the column
+        store is dropped so callers that mutate the returned list (e.g.
+        appending transitions, as tests and the sequential collector do)
+        see every accessor reflect the mutation instead of silently
+        reading stale columns.
+        """
+        if self._transitions is None:
+            columns = self._columns
+            masks = columns.valid_action_masks
+            self._transitions = [
+                Transition(
+                    observation=columns.observations[t],
+                    raw_observation=columns.raw_observations[t],
+                    hidden_before=columns.hidden_before[t],
+                    hidden_after=columns.hidden_after[t],
+                    action=int(columns.actions[t]),
+                    reward=float(columns.rewards[t]),
+                    value_estimate=float(columns.value_estimates[t]),
+                    done=bool(columns.dones[t]),
+                    valid_action_mask=None if masks is None else masks[t],
+                )
+                for t in range(columns.actions.shape[0])
+            ]
+            self._columns = None
+        return self._transitions
 
     def __len__(self) -> int:
-        return len(self.transitions)
+        if self._transitions is not None:
+            return len(self._transitions)
+        return int(self._columns.actions.shape[0])
 
     @property
     def total_reward(self) -> float:
@@ -70,31 +165,48 @@ class Trajectory:
 
     def observations(self) -> np.ndarray:
         """Normalised observations stacked as (T, obs_dim)."""
-        return np.stack([t.observation for t in self.transitions])
+        if self._columns is not None:
+            return np.array(self._columns.observations)
+        return np.stack([t.observation for t in self._transitions])
 
     def raw_observations(self) -> np.ndarray:
-        return np.stack([t.raw_observation for t in self.transitions])
+        if self._columns is not None:
+            return np.array(self._columns.raw_observations)
+        return np.stack([t.raw_observation for t in self._transitions])
 
     def hidden_states_before(self) -> np.ndarray:
-        return np.stack([t.hidden_before for t in self.transitions])
+        if self._columns is not None:
+            return np.array(self._columns.hidden_before)
+        return np.stack([t.hidden_before for t in self._transitions])
 
     def hidden_states_after(self) -> np.ndarray:
-        return np.stack([t.hidden_after for t in self.transitions])
+        if self._columns is not None:
+            return np.array(self._columns.hidden_after)
+        return np.stack([t.hidden_after for t in self._transitions])
 
     def actions(self) -> np.ndarray:
-        return np.array([t.action for t in self.transitions], dtype=int)
+        if self._columns is not None:
+            return np.array(self._columns.actions, dtype=int)
+        return np.array([t.action for t in self._transitions], dtype=int)
 
     def rewards(self) -> np.ndarray:
-        return np.array([t.reward for t in self.transitions], dtype=float)
+        if self._columns is not None:
+            return np.array(self._columns.rewards, dtype=float)
+        return np.array([t.reward for t in self._transitions], dtype=float)
 
     def value_estimates(self) -> np.ndarray:
-        return np.array([t.value_estimate for t in self.transitions], dtype=float)
+        if self._columns is not None:
+            return np.array(self._columns.value_estimates, dtype=float)
+        return np.array([t.value_estimate for t in self._transitions], dtype=float)
 
     def valid_action_masks(self) -> Optional[np.ndarray]:
         """(T, num_actions) legality masks, or None when not recorded."""
-        if not self.transitions or self.transitions[0].valid_action_mask is None:
+        if self._columns is not None:
+            masks = self._columns.valid_action_masks
+            return None if masks is None else np.array(masks)
+        if not self._transitions or self._transitions[0].valid_action_mask is None:
             return None
-        return np.stack([t.valid_action_mask for t in self.transitions])
+        return np.stack([t.valid_action_mask for t in self._transitions])
 
     def discounted_returns(self, gamma: float) -> np.ndarray:
         """Monte-Carlo discounted returns G_t for every step.
@@ -143,11 +255,13 @@ class TrajectoryBatch:
             raise TrainingError("cannot build a TrajectoryBatch from an empty trajectory")
         horizon = max(len(t) for t in trajectories)
         batch = len(trajectories)
-        first = trajectories[0].transitions[0]
-        obs_dim = first.observation.shape[0]
-        hidden_dim = first.hidden_before.shape[0]
+        first_observations = trajectories[0].observations()
+        obs_dim = first_observations.shape[1]
+        hidden_dim = trajectories[0].hidden_states_before().shape[1]
         observations = np.zeros((horizon, batch, obs_dim))
-        raw_observations = np.zeros((horizon, batch, first.raw_observation.shape[0]))
+        raw_observations = np.zeros(
+            (horizon, batch, trajectories[0].raw_observations().shape[1])
+        )
         hidden_before = np.zeros((horizon, batch, hidden_dim))
         hidden_after = np.zeros((horizon, batch, hidden_dim))
         actions = np.zeros((horizon, batch), dtype=int)
@@ -357,17 +471,44 @@ class BatchedRolloutCollector:
                 f"need one episode/action rng per trace, got {len(episode_rngs)}/"
                 f"{len(action_rngs)} for {batch} traces"
             )
-        action_rngs = [new_rng(r) for r in action_rngs]
+        action_rngs = GeneratorList(new_rng(r) for r in action_rngs)
 
         venv = self.vector_env
         normalized = venv.reset(traces, rngs=episode_rngs)
         raw = venv.raw_observations()
         hidden = policy.initial_state(batch).numpy()
-        trajectories = [Trajectory(trace_name=trace.name) for trace in traces]
         active = ~venv.dones
 
-        while active.any():
-            masks = venv.valid_action_masks()
+        # Struct-of-arrays accumulation: per interval the fresh (B, ...)
+        # step arrays are appended whole; no per-slot python, no
+        # Transition objects.  Slot ``b`` is active on a contiguous step
+        # prefix, so its episode is the column slice ``[:length[b], b]``.
+        step_observations: List[np.ndarray] = []
+        step_raw: List[np.ndarray] = []
+        # Hidden states are stored once per boundary, not twice per step:
+        # a slot's hidden_after at step t is its hidden_before at t+1
+        # (act_batch freezes finished slots' rows, and only the active
+        # prefix of each slot is sliced out below).
+        step_hidden: List[np.ndarray] = []
+        step_actions: List[np.ndarray] = []
+        step_rewards: List[np.ndarray] = []
+        step_values: List[np.ndarray] = []
+        # Valid-action masks are a pure function of the pre-step core
+        # counts for every *stored* row (a slot's rows only cover steps
+        # where it was still active, so the finished-slot override of
+        # ``valid_action_masks`` never reaches a trajectory), so the hot
+        # loop stores one cheap counts snapshot per interval and the
+        # masks are materialised in a single vectorized call afterwards.
+        step_counts: List[np.ndarray] = []
+        makespans = np.zeros(batch, dtype=np.int64)
+        truncated = np.zeros(batch, dtype=bool)
+
+        if active.all():
+            # ``active=None`` takes act_batch's mask-free whole-batch
+            # path; the mask is only materialised once slots finish.
+            active = None
+        while active is None or active.any():
+            step_counts.append(venv.core_counts())
             output = policy.act_batch(
                 normalized,
                 hidden,
@@ -377,42 +518,68 @@ class BatchedRolloutCollector:
                 active=active,
             )
             result = venv.step(output.actions)
-            # Batch-convert per-slot scalars and pre-split the row views
-            # once per interval; the per-transition reads are then plain
-            # python list indexing instead of numpy item lookups.
-            actions_list = output.actions.tolist()
-            values_list = output.values.tolist()
-            rewards_list = result.rewards.tolist()
-            dones_list = result.dones.tolist()
-            normalized_rows = list(normalized)
-            raw_rows = list(raw)
-            hidden_rows = list(hidden)
-            hidden_after_rows = list(output.hidden_states)
-            mask_rows = list(masks)
-            for i in np.nonzero(active)[0].tolist():
-                trajectories[i].transitions.append(
-                    Transition(
-                        observation=normalized_rows[i],
-                        raw_observation=raw_rows[i],
-                        hidden_before=hidden_rows[i],
-                        hidden_after=hidden_after_rows[i],
-                        action=actions_list[i],
-                        reward=rewards_list[i],
-                        value_estimate=values_list[i],
-                        done=dones_list[i],
-                        valid_action_mask=mask_rows[i],
-                    )
-                )
-                if result.newly_done[i]:
-                    trajectories[i].makespan = int(result.makespans[i])
-                    trajectories[i].truncated = bool(result.truncated[i])
+            step_observations.append(normalized)
+            step_raw.append(raw)
+            step_hidden.append(hidden)
+            step_actions.append(output.actions)
+            step_rewards.append(result.rewards)
+            step_values.append(output.values)
+            if result.newly_done.any():
+                finished = np.nonzero(result.newly_done)[0]
+                makespans[finished] = result.makespans[finished]
+                truncated[finished] = result.truncated[finished]
             # act_batch already freezes finished slots' hidden rows (they
             # keep the input hidden state), so the output advances active
             # slots and preserves the rest.
             hidden = output.hidden_states
             normalized = result.observations
             raw = result.raw_observations
-            active = ~result.dones
+            dones = result.dones
+            active = None if not dones.any() else ~dones
+        # A slot's stored-row count equals its makespan: steps_taken
+        # advances exactly once per stored interval.
+        lengths = makespans
+
+        step_hidden.append(hidden)
+        observations_stack = np.stack(step_observations)
+        raw_stack = np.stack(step_raw)
+        hidden_stack = np.stack(step_hidden)
+        actions_stack = np.stack(step_actions)
+        rewards_stack = np.stack(step_rewards)
+        values_stack = np.stack(step_values)
+        counts_stack = np.stack(step_counts)              # (T, B, levels)
+        horizon = counts_stack.shape[0]
+        masks_stack = venv.action_space.valid_mask_batch_from_counts(
+            counts_stack.reshape(horizon * batch, -1),
+            venv.system_config.min_cores_per_level,
+        ).reshape(horizon, batch, -1)
+        trajectories = []
+        for b, trace in enumerate(traces):
+            steps = int(lengths[b])
+            # A slot's stored rows cover exactly its active steps, so its
+            # done column is False everywhere except the final step (the
+            # interval it finished or was truncated on).
+            dones = np.zeros(steps, dtype=bool)
+            if steps:
+                dones[-1] = True
+            trajectories.append(
+                Trajectory.from_columns(
+                    trace.name,
+                    _TrajectoryColumns(
+                        observations=observations_stack[:steps, b],
+                        raw_observations=raw_stack[:steps, b],
+                        hidden_before=hidden_stack[:steps, b],
+                        hidden_after=hidden_stack[1 : steps + 1, b],
+                        actions=actions_stack[:steps, b],
+                        rewards=rewards_stack[:steps, b],
+                        value_estimates=values_stack[:steps, b],
+                        dones=dones,
+                        valid_action_masks=masks_stack[:steps, b],
+                    ),
+                    makespan=int(makespans[b]),
+                    truncated=bool(truncated[b]),
+                )
+            )
         return trajectories
 
     def collect_many(

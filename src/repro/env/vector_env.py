@@ -38,7 +38,7 @@ from repro.env.reward import (
     compute_step_rewards_batch,
     compute_terminal_rewards_batch,
 )
-from repro.errors import EnvironmentError_
+from repro.errors import EnvironmentError_, SimulationError
 from repro.storage.cache import CacheModel
 from repro.storage.iorequest import NUM_IO_TYPES
 from repro.storage.levels import LEVELS
@@ -207,13 +207,13 @@ class VectorStorageAllocationEnv:
         """Advance every unfinished episode by one interval under ``actions``."""
         if not self._batch:
             raise EnvironmentError_("step() called before reset()")
-        actions = np.asarray(actions)
-        if actions.shape != (self._batch,):
-            raise EnvironmentError_(
-                f"expected ({self._batch},) actions, got shape {actions.shape}"
-            )
         state = self._state
-        stepped = state.step(actions)
+        # Shape/range validation happens in state.step (shared with the
+        # scalar simulator view); it surfaces as an environment error.
+        try:
+            stepped = state.step(actions)
+        except SimulationError as exc:
+            raise EnvironmentError_(str(exc)) from exc
         all_stepped = state.last_step_all_active
         ix = slice(None) if all_stepped else np.nonzero(stepped)[0]
 
@@ -249,13 +249,12 @@ class VectorStorageAllocationEnv:
         else:
             raw[ix, _IQ_START:] = self._workload_features[ix, t]
         raw_out = self._raw_copy(raw)
-        if all_stepped:
-            normalized = self.observation_encoder.normalize_batch(raw_out)
-        else:
-            normalized = self._raw_copy(self._normalized)
-            normalized[stepped] = self.observation_encoder.normalize_batch(
-                raw_out[stepped]
-            )
+        # The S (size) columns never change after reset, so only the
+        # dynamic columns of the stepped rows are re-normalised (bit-
+        # identical to a full normalize_batch, which the reset path
+        # still performs once).
+        normalized = self._raw_copy(self._normalized)
+        self.observation_encoder.normalize_dynamic_columns(raw_out, normalized, ix)
         self._normalized = normalized
 
         # ``normalized`` and ``raw_out`` are freshly allocated this step
@@ -283,6 +282,16 @@ class VectorStorageAllocationEnv:
         """Current (B, obs_dim) raw observation matrix."""
         self._require_reset()
         return self._raw_copy(self._raw)
+
+    def core_counts(self) -> np.ndarray:
+        """Current (B, levels) per-level core counts (fresh copy).
+
+        The batched collector snapshots this before each decision and
+        derives all valid-action masks in one vectorized pass at the end
+        of the episode batch (see ``BatchedRolloutCollector``).
+        """
+        self._require_reset()
+        return np.array(self._state.counts)
 
     def valid_action_masks(self) -> np.ndarray:
         """(B, num_actions) legality masks for the next decision.

@@ -408,6 +408,56 @@ _JOB_RUNNERS: Dict[str, Callable[[Mapping[str, Any], int], Dict[str, Any]]] = {
 }
 
 
+def load_resumed_record(job: SweepJob, output_dir: PathLike) -> Optional[Dict[str, Any]]:
+    """A verified previous record for ``job``, or None to re-run it.
+
+    A record is only reused when it parses, matches the job's identity
+    (name/kind/seed/params), finished with ``status == "ok"`` and
+    carries a digest that matches its own payload — a corrupt, stale or
+    failed file falls through to re-execution.
+    """
+    path = Path(output_dir) / "jobs" / f"{job.name}.json"
+    if not path.exists():
+        return None
+    try:
+        record = load_json(path)
+    except Exception:
+        return None
+    if record.get("status") != "ok":
+        return None
+    identity_keys = ("name", "kind", "seed", "params")
+    if any(key not in record for key in identity_keys) or "digest" not in record:
+        return None
+    if json_digest({k: record[k] for k in identity_keys}) != json_digest(
+        job.payload_id()
+    ):
+        return None
+    expected = json_digest(
+        {k: v for k, v in record.items() if k not in ("digest", "traceback")}
+    )
+    if record["digest"] != expected:
+        return None
+    return record
+
+
+def _execute_or_resume(
+    task: Tuple[SweepJob, Optional[str], bool]
+) -> Tuple[Dict[str, Any], bool]:
+    """Worker entry point: verify-and-reuse lazily, else execute.
+
+    Digest verification happens here — inside the worker, per job — so
+    resuming a large mostly-complete sweep costs each worker only its
+    own share of reads instead of one serial verification pass in the
+    parent before any job can start.
+    """
+    job, output_dir, resume = task
+    if resume and output_dir is not None:
+        record = load_resumed_record(job, output_dir)
+        if record is not None:
+            return record, True
+    return execute_job(job), False
+
+
 def execute_job(job: SweepJob) -> Dict[str, Any]:
     """Run one job and return its canonical (deterministic) result record.
 
@@ -499,6 +549,15 @@ class SweepRunner:
     are loaded instead of re-executed — deleting one job file and
     rerunning recomputes exactly that job, byte-identically, because a
     job's payload depends only on its ``(kind, params, seed)`` triple.
+    Verification is lazy, per job, *inside* the workers (see
+    :func:`_execute_or_resume`): resuming a large mostly-complete sweep
+    starts dispatching immediately instead of first re-verifying every
+    digest serially in the parent.
+
+    The ``progress`` callback fires once per job in dispatch order as
+    ``progress(done, total, record)`` with ``total`` the full job count;
+    resumed jobs are included and are marked with a ``"resumed": True``
+    key on the (copied) record passed to the callback.
     """
 
     def __init__(
@@ -528,73 +587,39 @@ class SweepRunner:
     def run(self) -> SweepResult:
         jobs = self.expand()
         start = time.perf_counter()
-        resumed: Dict[int, Dict[str, Any]] = {}
-        if self.resume:
-            for job in jobs:
-                record = self._load_resumed_record(job)
-                if record is not None:
-                    resumed[job.index] = record
-        pending = [job for job in jobs if job.index not in resumed]
-        executed: Dict[int, Dict[str, Any]] = {}
-        if self.num_workers == 1 or len(pending) <= 1:
-            for job in pending:
-                record = execute_job(job)
-                executed[job.index] = record
-                self._report(len(executed), len(pending), record)
+        output_dir = None if self.output_dir is None else str(self.output_dir)
+        tasks = [(job, output_dir, self.resume) for job in jobs]
+        if self.num_workers == 1 or len(jobs) <= 1:
+            records, num_resumed = self._consume(map(_execute_or_resume, tasks), len(jobs))
         else:
             context = multiprocessing.get_context(self.start_method)
-            with context.Pool(processes=min(self.num_workers, len(pending))) as pool:
+            with context.Pool(processes=min(self.num_workers, len(jobs))) as pool:
                 # imap preserves job order while letting workers overlap.
-                for job, record in zip(pending, pool.imap(execute_job, pending)):
-                    executed[job.index] = record
-                    self._report(len(executed), len(pending), record)
-        records = [
-            resumed[job.index] if job.index in resumed else executed[job.index]
-            for job in jobs
-        ]
+                records, num_resumed = self._consume(
+                    pool.imap(_execute_or_resume, tasks), len(jobs)
+                )
         result = SweepResult(
             spec=self.spec, records=records,
             wall_time_s=time.perf_counter() - start,
-            num_resumed=len(resumed),
+            num_resumed=num_resumed,
         )
         if self.output_dir is not None:
             self._write_outputs(result)
         return result
 
-    def _load_resumed_record(self, job: SweepJob) -> Optional[Dict[str, Any]]:
-        """A verified previous record for ``job``, or None to re-run it.
-
-        A record is only reused when it parses, matches the job's
-        identity (name/kind/seed/params), finished with ``status ==
-        "ok"`` and carries a digest that matches its own payload — a
-        corrupt, stale or failed file falls through to re-execution.
-        """
-        path = self.output_dir / "jobs" / f"{job.name}.json"
-        if not path.exists():
-            return None
-        try:
-            record = load_json(path)
-        except Exception:
-            return None
-        if record.get("status") != "ok":
-            return None
-        identity_keys = ("name", "kind", "seed", "params")
-        if any(key not in record for key in identity_keys) or "digest" not in record:
-            return None
-        if json_digest({k: record[k] for k in identity_keys}) != json_digest(
-            job.payload_id()
-        ):
-            return None
-        expected = json_digest(
-            {k: v for k, v in record.items() if k not in ("digest", "traceback")}
-        )
-        if record["digest"] != expected:
-            return None
-        return record
-
-    def _report(self, done: int, total: int, record: Dict[str, Any]) -> None:
-        if self.progress is not None:
-            self.progress(done, total, record)
+    def _consume(
+        self, outcomes, total: int
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Drain ``(record, resumed)`` outcomes, reporting progress."""
+        records: List[Dict[str, Any]] = []
+        num_resumed = 0
+        for done, (record, resumed) in enumerate(outcomes, start=1):
+            records.append(record)
+            num_resumed += resumed
+            if self.progress is not None:
+                shown = dict(record, resumed=True) if resumed else record
+                self.progress(done, total, shown)
+        return records, num_resumed
 
     def _write_outputs(self, result: SweepResult) -> None:
         jobs_dir = self.output_dir / "jobs"

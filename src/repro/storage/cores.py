@@ -207,3 +207,59 @@ class CorePool:
             for i in range(len(level_indices))
         ]
         return CorePool(cores=cores, min_cores_per_level=min_cores_per_level)
+
+    # ------------------------------------------------------------------
+    # Level-major form (fixed layout of the vectorized simulator core)
+    # ------------------------------------------------------------------
+    def to_level_major(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Export as ``(core_ids, cooldowns, counts)`` in level-major order.
+
+        The level-major layout is the vectorized simulator's per-slot row
+        format: positions ``[starts[l], starts[l] + counts[l])`` hold the
+        cores at level ``l`` in ascending core-id order (``starts`` being
+        the exclusive prefix sums of ``counts``).  Keeping cores grouped
+        by level makes "the capacities of level ``l``'s cores, in
+        :meth:`cores_at` order" a plain slice — no per-interval argsort —
+        while the ascending-id invariant preserves the scalar pool's
+        migration tie-breaking and idle-ranking order exactly.
+        """
+        core_ids: List[int] = []
+        cooldowns: List[int] = []
+        counts: List[int] = []
+        for level in LEVELS:
+            members = self.cores_at(level)
+            counts.append(len(members))
+            core_ids.extend(core.core_id for core in members)
+            cooldowns.extend(core.migration_cooldown for core in members)
+        return (
+            np.array(core_ids, dtype=np.int64),
+            np.array(cooldowns, dtype=np.int64),
+            np.array(counts, dtype=np.int64),
+        )
+
+    @staticmethod
+    def from_level_major(
+        core_ids: np.ndarray,
+        cooldowns: np.ndarray,
+        counts: np.ndarray,
+        min_cores_per_level: int = 1,
+    ) -> "CorePool":
+        """Materialise a pool from one slot of the level-major core state."""
+        total = int(np.sum(counts))
+        if total != len(core_ids) or total != len(cooldowns):
+            raise SimulationError(
+                f"level-major arrays disagree: counts sum to {total} but "
+                f"{len(core_ids)} ids / {len(cooldowns)} cooldowns given"
+            )
+        levels_by_position = np.repeat(np.arange(len(LEVELS)), np.asarray(counts))
+        cores: List[Optional[Core]] = [None] * total
+        for position in range(total):
+            core_id = int(core_ids[position])
+            cores[core_id] = Core(
+                core_id=core_id,
+                level=LEVELS[int(levels_by_position[position])],
+                migration_cooldown=int(cooldowns[position]),
+            )
+        if any(core is None for core in cores):
+            raise SimulationError("level-major core ids are not a permutation")
+        return CorePool(cores=cores, min_cores_per_level=min_cores_per_level)

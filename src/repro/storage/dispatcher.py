@@ -11,7 +11,7 @@ own effective capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -148,6 +148,53 @@ def pairwise_sum_ragged(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     ) + ((accumulators[4] + accumulators[5]) + (accumulators[6] + accumulators[7]))
     for j in range(8, n_max):
         big = big + np.where((full_blocks <= j) & (j < lengths), values[..., j], 0.0)
+    return np.where(lengths < 8, small, big)
+
+
+#: Largest replication count :func:`replicated_pairwise_sum` reproduces —
+#: the unrolled-8 tree plus sequential tail, the same envelope the
+#: vectorized dispatch sweep supports (levels never exceed 15 cores with
+#: the <= 17-core configurations the grouped kernel accepts).
+REPLICATED_MAX_LENGTH = 15
+
+
+def replicated_pairwise_sum(
+    values: np.ndarray, lengths: np.ndarray, n_max: Optional[int] = None
+) -> np.ndarray:
+    """Per-cell sum of ``lengths[c]`` copies of ``values[c]``, pairwise order.
+
+    Cell ``c`` of the result is bit-identical to
+    ``np.full(lengths[c], values[c]).sum()`` for ``lengths <= 15``.  This
+    is the uniform-cell special case of :func:`pairwise_sum_ragged` — all
+    row entries equal — which admits a much cheaper replay: the first
+    eight copies combine as a balanced tree of equal values, which is the
+    *exact* product ``8 * v`` (every intermediate doubles a value, and
+    doubling only increments the exponent), so only the left-to-right
+    head (< 8 copies) and the sequential tail (copies 8..14) need
+    per-column passes.
+
+    The vectorized simulator's uniform dispatch fast path (no penalised
+    and no idled core anywhere) uses this to reduce a whole batch's
+    per-level processed totals without materialising the positional
+    ``(B, 3, n_max)`` capacity tensor.
+    """
+    values = np.asarray(values, dtype=float)
+    lengths = np.asarray(lengths)
+    if n_max is None:
+        n_max = int(lengths.max()) if lengths.size else 0
+    if n_max > REPLICATED_MAX_LENGTH:
+        raise SimulationError(
+            f"replicated_pairwise_sum supports up to {REPLICATED_MAX_LENGTH} "
+            f"copies, got {n_max}"
+        )
+    small = np.where(lengths > 0, values, 0.0)
+    for j in range(1, min(n_max, 8)):
+        small = np.where(j < lengths, small + values, small)
+    if n_max < 8:
+        return small
+    big = 8.0 * values
+    for j in range(8, n_max):
+        big = np.where(j < lengths, big + values, big)
     return np.where(lengths < 8, small, big)
 
 

@@ -27,6 +27,19 @@ trace with the same rng stream (and the scalar simulator itself is the
 * selection logic (migration candidate choice, idle-core ranking via
   ``np.argsort``) replicates the scalar tie-breaking exactly.
 
+Core layout
+-----------
+Cores are stored in a **fixed level-major layout**: per slot, a padded
+positional tensor ``(level, position)`` whose row ``l`` holds the cores
+currently at level ``l`` in ascending core-id order (``counts[l]`` valid
+positions, then padding — sentinel ids, zero cooldowns).  "The
+capacities of level ``l``'s cores in scalar order" is therefore a plain
+row read — the per-interval ``argsort``/gather the id-major layout
+needed is gone entirely — and a migration only rewrites the two level
+rows it touches (one vectorized shift each across all migrating slots).
+:meth:`CorePool.to_level_major` defines the flat form of the same
+layout, used at the reset/snapshot boundary.
+
 Episodes of different lengths coexist: finished slots are masked out of
 every kernel and stop consuming randomness, so a partial batch drains
 without perturbing the remaining slots.
@@ -41,7 +54,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.storage.cache import CacheModel
 from repro.storage.cores import CorePool
-from repro.storage.dispatcher import get_dispatcher
+from repro.storage.dispatcher import get_dispatcher, replicated_pairwise_sum
 from repro.storage.levels import LEVELS
 from repro.storage.metrics import EpisodeMetrics, IntervalMetrics, StepValues
 from repro.storage.migration import (
@@ -83,20 +96,42 @@ class VectorSimulatorState:
         self._capacity_cache: dict = {}
         self._arange_cache: dict = {}
         self._sweep_buffers: dict = {}
+        # table[k] = numpy's pairwise sum of k full-speed capacities; the
+        # uniform dispatch fast path gathers level capacity totals from
+        # it instead of re-reducing per interval.
+        self._uniform_sums = np.array(
+            [
+                np.full(k, self._capability).sum()
+                for k in range(config.total_cores + 1)
+            ]
+        )
+        self._uniform_sums.setflags(write=False)
+        self._idle_drawn = False
         self.last_step_all_active = False
-        # Kernel selection: below this many active slots the per-cell
-        # reference kernel (the scalar simulator's exact inner loop) is
-        # cheaper than assembling the grouped gather; both kernels are
-        # bit-identical, so this is purely a performance switch (tests
-        # lower it to 1 to exercise the grouped kernel at B=1).
-        self._grouped_min_rows = 2
+        # Kernel selection: the grouped kernel is gather-free on the
+        # padded level-major layout and beats the per-cell reference loop
+        # at every batch size, so it is the default whenever the
+        # dispatcher supports it; both kernels are bit-identical, and
+        # tests raise this switch to force the reference kernel.
+        self._grouped_min_rows = 1
         # The grouped kernel's column sweep replays numpy's pairwise
         # summation for rows below 16 elements (left-to-right under 8,
         # unrolled tree + tail up to 15); wider levels — impossible with
         # <= 17 cores — and non-polling dispatchers use the reference
         # kernel.
-        max_level_cores = config.total_cores - 2 * config.min_cores_per_level
-        self._grouped_supported = self._dispatch_is_polling and max_level_cores <= 15
+        # A level can hold at most total - (levels-1) * min cores; this
+        # bound is also the width of the padded positional core arrays.
+        self._level_capacity = config.total_cores - (
+            (_NUM_LEVELS - 1) * config.min_cores_per_level
+        )
+        self._grouped_supported = (
+            self._dispatch_is_polling and self._level_capacity <= 15
+        )
+        # Sentinel core id marking padding positions; it compares greater
+        # than every real id — and also greater than any penalised core's
+        # selection key ``id + N`` — so insertion-point searches and the
+        # migration-candidate argmin need no validity masks.
+        self._id_sentinel = 2 * config.total_cores
         self.batch = 0
         self._cache_models: List[CacheModel] = []
         self._rngs: List[np.random.Generator] = []
@@ -133,8 +168,21 @@ class VectorSimulatorState:
         the array state.  Intended for read-only consumers (action
         masking helpers, diagnostics, tests).
         """
-        return CorePool.from_arrays(
-            self.core_level[slot], self.cooldown[slot], self.config.min_cores_per_level
+        counts = self.counts[slot]
+        core_ids = np.concatenate(
+            [
+                self.pos_ids[slot, level, : counts[level]]
+                for level in range(_NUM_LEVELS)
+            ]
+        )
+        cooldowns = np.concatenate(
+            [
+                self.pos_cooldown[slot, level, : counts[level]]
+                for level in range(_NUM_LEVELS)
+            ]
+        )
+        return CorePool.from_level_major(
+            core_ids, cooldowns, counts, self.config.min_cores_per_level
         )
 
     def counts_row(self, slot: int) -> np.ndarray:
@@ -203,15 +251,39 @@ class VectorSimulatorState:
         initial_pool = CorePool.create(
             self.config.initial_allocation, self.config.min_cores_per_level
         )
-        levels, _ = initial_pool.to_arrays()
-        self.core_level = np.tile(levels, (batch, 1))
-        self.cooldown = np.zeros((batch, self.num_cores), dtype=np.int64)
-        self.counts = np.tile(
-            np.array(initial_pool.counts_vector(), dtype=np.int64), (batch, 1)
+        lm_ids, lm_cooldowns, lm_counts = initial_pool.to_level_major()
+        width = max(self._level_capacity, int(lm_counts.max()))
+        pos_state = np.zeros((2, _NUM_LEVELS, width), dtype=np.int64)
+        pos_state[0] = self._id_sentinel
+        offset = 0
+        for level, count in enumerate(lm_counts):
+            pos_state[0, level, :count] = lm_ids[offset : offset + count]
+            pos_state[1, level, :count] = lm_cooldowns[offset : offset + count]
+            offset += count
+        # Ids and cooldowns share one (2, B, levels, width) tensor so the
+        # migration kernel moves both with single gathers; ``pos_ids`` /
+        # ``pos_cooldown`` are *contiguous* views of its two leading
+        # planes (the dispatch kernels read cooldowns every interval).
+        self._pos_state = np.tile(pos_state[:, None], (1, batch, 1, 1))
+        self.pos_ids = self._pos_state[0]
+        self.pos_cooldown = self._pos_state[1]
+        self.counts = np.tile(lm_counts, (batch, 1))
+        # Shift permutations for delete-at-p / insert-at-q row surgery,
+        # precomputed per offset so a migration only gathers table rows.
+        offs = np.arange(width)
+        self._del_perm_table = np.minimum(
+            offs[None, :] + (offs[None, :] >= offs[:, None]), width - 1
+        )
+        self._ins_perm_table = np.maximum(
+            offs[None, :] - (offs[None, :] > offs[:, None]), 0
         )
         self.backlog = np.zeros((batch, _NUM_LEVELS))
         self.interval_index = np.zeros(batch, dtype=np.int64)
-        self.steps_taken = np.zeros(batch, dtype=np.int64)
+        # The next-interval cursor and the makespan counter advance in
+        # lockstep (both +1 per stepped slot, nothing else writes them),
+        # so they share one array; the two names keep the two meanings
+        # readable at their use sites.
+        self.steps_taken = self.interval_index
         self.done = np.zeros(batch, dtype=bool)
         self.truncated = np.zeros(batch, dtype=bool)
         self.max_intervals = (
@@ -223,6 +295,13 @@ class VectorSimulatorState:
         self.capacity = np.zeros((batch, _NUM_LEVELS))
         self.utilization = np.zeros((batch, _NUM_LEVELS))
         self.idle = np.zeros((batch, _NUM_LEVELS), dtype=np.int64)
+        # Truncation bookkeeping: no slot can hit its interval cap before
+        # the smallest cap many steps have elapsed, so the per-interval
+        # truncation checks are skipped until then (and the done-mask OR
+        # is skipped until a truncation actually happened).
+        self._steps_elapsed = 0
+        self._min_max_intervals = int(self.max_intervals.min())
+        self._any_truncated = False
         self.cache_miss = np.zeros(batch)
         self.migration_applied = np.zeros(batch, dtype=bool)
         self.episodes = [EpisodeMetrics(trace_name=t.name) for t in traces]
@@ -245,15 +324,16 @@ class VectorSimulatorState:
             raise SimulationError(
                 f"expected ({self.batch},) actions, got shape {actions.shape}"
             )
-        if ((actions < 0) | (actions >= _NUM_ACTIONS)).any():
+        if int(actions.min()) < 0 or int(actions.max()) >= _NUM_ACTIONS:
             raise SimulationError(
                 f"action indices must be in [0, {_NUM_ACTIONS}), got {actions}"
             )
         stepped = ~self.done
-        rows = np.nonzero(stepped)[0]
-        self.last_step_all_active = all_active = rows.size == self.batch
-        if rows.size == 0:
+        active_count = int(stepped.sum())
+        self.last_step_all_active = all_active = active_count == self.batch
+        if active_count == 0:
             return stepped
+        rows = self._arange(self.batch) if all_active else np.nonzero(stepped)[0]
         # Whole-batch steps (the common case until episodes start
         # finishing) index with a slice: views instead of gather/scatter.
         ix = slice(None) if all_active else rows
@@ -266,15 +346,16 @@ class VectorSimulatorState:
         else:
             self._process_intervals_reference(rows)
 
-        # Advance time and decay migration penalties (CorePool.tick).
+        # Advance time and decay migration penalties (CorePool.tick);
+        # padding positions hold zero cooldowns and stay zero.
         if all_active:
-            self.cooldown -= self.cooldown > 0
+            self.pos_cooldown -= self.pos_cooldown > 0
         else:
-            cool = self.cooldown[rows]
-            self.cooldown[rows] = cool - (cool > 0)
-        self.interval_index[ix] += 1
-        self.steps_taken[ix] += 1
+            cool = self.pos_cooldown[rows]
+            self.pos_cooldown[rows] = cool - (cool > 0)
+        self.interval_index[ix] += 1  # also advances steps_taken (shared array)
 
+        self._steps_elapsed += 1
         injected_all = self.interval_index[ix] >= self.trace_len[ix]
         if injected_all.any():
             drained = (self.backlog[ix] <= _DRAIN_EPSILON).all(axis=1)
@@ -283,12 +364,19 @@ class VectorSimulatorState:
             # No slot has injected its full trace yet, so none can finish
             # this interval (mid-episode fast path).
             finished = injected_all
-        truncated_now = (self.steps_taken[ix] >= self.max_intervals[ix]) & ~finished
-        if truncated_now.any():
-            self.truncated[ix] |= truncated_now
-            for slot in rows[truncated_now].tolist():
-                self.episodes[slot].truncated = True
-        self.done[ix] = finished | self.truncated[ix]
+        if self._steps_elapsed >= self._min_max_intervals:
+            truncated_now = (
+                self.steps_taken[ix] >= self.max_intervals[ix]
+            ) & ~finished
+            if truncated_now.any():
+                self.truncated[ix] |= truncated_now
+                self._any_truncated = True
+                for slot in rows[truncated_now].tolist():
+                    self.episodes[slot].truncated = True
+        if self._any_truncated:
+            self.done[ix] = finished | self.truncated[ix]
+        else:
+            self.done[ix] = finished
 
         if self._record_metrics:
             self._record_interval_metrics(rows, actions)
@@ -302,45 +390,94 @@ class VectorSimulatorState:
 
         Candidate choice matches ``CorePool.migrate_one``: the
         lowest-id core at the source level that is not already paying a
-        penalty, falling back to the lowest-id penalised core.
+        penalty, falling back to the lowest-id penalised core.  The
+        padded level-major layout is maintained with two vectorized row
+        shifts over all migrating slots: delete the chosen core from its
+        source level row, insert it id-sorted into the destination row.
         """
-        self.migration_applied[rows] = False
+        if self._record_metrics:
+            self.migration_applied[rows] = False
         moving = rows[actions[rows] != 0]
         if moving.size == 0:
             return
         src = ACTION_SOURCE_INDICES[actions[moving]]
         dst = ACTION_DEST_INDICES[actions[moving]]
         legal = self.counts[moving, src] > self.config.min_cores_per_level
-        moving, src, dst = moving[legal], src[legal], dst[legal]
-        if moving.size == 0:
-            return
-        n = self.num_cores
-        # Selection key per core: id for full-speed cores, id + N for
-        # penalised ones, 2N for cores at other levels; argmin == the
-        # (is_penalized, core_id) sort order of the scalar pool.
-        key = np.where(
-            self.core_level[moving] == src[:, None],
-            self._arange(n)[None, :] + n * (self.cooldown[moving] > 0),
-            2 * n,
+        if not legal.all():
+            moving, src, dst = moving[legal], src[legal], dst[legal]
+            if moving.size == 0:
+                return
+        m = moving.size
+        m_idx = self._arange(m)
+
+        # One gather serves both affected level rows of every migrating
+        # slot: rows [0:m] are the sources, rows [m:2m] the destinations
+        # (source and destination are different levels, so the final
+        # scatter has no write conflicts).
+        pair_slots = np.concatenate([moving, moving])
+        pair_levels = np.concatenate([src, dst])
+        pair_state = self._pos_state[:, pair_slots, pair_levels]   # (2, 2m, width)
+        src_ids, src_cooldown = pair_state[0, :m], pair_state[1, :m]
+        dst_ids = pair_state[0, m:]
+        src_count = self.counts[moving, src]
+
+        # Chosen core: id + N * is_penalized is exactly the scalar
+        # (is_penalized, core_id) sort key, and the 2N sentinel of the
+        # padding positions compares greater than every valid key, so the
+        # argmin needs no validity mask.
+        key = src_ids + self.num_cores * (src_cooldown > 0)
+        p = key.argmin(axis=1)
+        chosen_ids = src_ids[m_idx, p]
+        chosen_cooldown = src_cooldown[m_idx, p]
+        # Insertion offset in the destination row keeping ids ascending
+        # (again mask-free thanks to the sentinel padding ids).
+        q = (dst_ids < chosen_ids[:, None]).sum(axis=1)
+
+        # Source rows shift left from p (delete); destination rows shift
+        # right from q (insert) — both permutations come straight from
+        # the precomputed shift tables.
+        perm = np.concatenate([self._del_perm_table[p], self._ins_perm_table[q]])
+        new_state = pair_state[
+            self._arange(2)[:, None, None],
+            self._arange(2 * m)[None, :, None],
+            perm[None, :, :],
+        ]
+        # Source fix-up: when the row was full, the clipped shift leaves
+        # a ghost copy of the last core in the padding — re-pad the new
+        # end position (a no-op otherwise).
+        new_state[0, m_idx, src_count - 1] = self._id_sentinel
+        new_state[1, m_idx, src_count - 1] = 0
+        # Destination fix-up: place the migrated core at q with its
+        # refreshed penalty window.
+        dst_rows = m_idx + m
+        new_state[0, dst_rows, q] = chosen_ids
+        new_state[1, dst_rows, q] = np.maximum(
+            chosen_cooldown, self.config.migration_cooldown_intervals + 1
         )
-        chosen = key.argmin(axis=1)
-        self.core_level[moving, chosen] = dst
-        self.cooldown[moving, chosen] = np.maximum(
-            self.cooldown[moving, chosen], self.config.migration_cooldown_intervals + 1
-        )
-        self.counts[moving, src] -= 1
+        self._pos_state[:, pair_slots, pair_levels] = new_state
+        self.counts[moving, src] = src_count - 1
         self.counts[moving, dst] += 1
-        self.migration_applied[moving] = True
+        if self._record_metrics:
+            self.migration_applied[moving] = True
 
     def _inject_workload(self, rows: np.ndarray) -> None:
         """Add this interval's per-level demand to the backlogs (array form
         of the scalar simulator's incoming-work computation)."""
         self.incoming[rows] = 0.0
         self.cache_miss[rows] = 0.0
-        inject = rows[self.interval_index[rows] < self.trace_len[rows]]
-        if inject.size == 0:
-            return
-        t = self.interval_index[inject]
+        injecting = self.interval_index[rows] < self.trace_len[rows]
+        if injecting.all():
+            # Mid-episode fast path: every stepped slot still has trace
+            # intervals left, so no filtering gathers are needed (and
+            # with all slots active the accumulator updates below are
+            # whole-array writes).
+            inject = rows
+            t = self.interval_index if rows.size == self.batch else self.interval_index[rows]
+        else:
+            inject = rows[injecting]
+            if inject.size == 0:
+                return
+            t = self.interval_index[inject]
         if self._const_miss is not None:
             miss = self._const_miss[inject]
         else:
@@ -352,11 +489,26 @@ class VectorSimulatorState:
                     for slot, ti in zip(inject.tolist(), t.tolist())
                 ]
             )
-        self.cache_miss[inject] = miss
         read_kb = self._read_kb[inject, t]
         write_kb = self._write_kb[inject, t]
         missed_read_kb = read_kb * miss
         config = self.config
+        if inject is rows and rows.size == self.batch:
+            # Whole-batch injection: plain views instead of gather/scatter.
+            self.cache_miss[...] = miss
+            incoming = self.incoming
+            incoming[:, 0] = read_kb + write_kb
+            incoming[:, 1] = (
+                write_kb * config.kv_write_factor
+                + missed_read_kb * config.kv_read_miss_factor
+            )
+            incoming[:, 2] = (
+                write_kb * config.rv_write_factor
+                + missed_read_kb * config.rv_read_miss_factor
+            )
+            self.backlog += incoming
+            return
+        self.cache_miss[inject] = miss
         self.incoming[inject, 0] = read_kb + write_kb
         self.incoming[inject, 1] = (
             write_kb * config.kv_write_factor
@@ -379,39 +531,60 @@ class VectorSimulatorState:
         only nonzero results touch the idle matrix.
         """
         self.idle[rows] = 0
+        self._idle_drawn = False
         if self.config.idle_rate <= 0:
             return
         lam_rows = (self.config.idle_rate * self.counts[rows]).tolist()
         counts_rows = self.counts[rows].tolist()
         rngs = self._rngs
         idle = self.idle
+        drawn = False
         for j, slot in enumerate(rows.tolist()):
-            rng = rngs[slot]
+            poisson = rngs[slot].poisson
             lam = lam_rows[j]
-            cell_counts = counts_rows[j]
-            for level_index in range(_NUM_LEVELS):
-                core_count = cell_counts[level_index]
-                if core_count > 1:
-                    draw = int(rng.poisson(lam[level_index]))
-                    if draw:
-                        idle[slot, level_index] = min(draw, core_count - 1)
+            c0, c1, c2 = counts_rows[j]
+            # Unrolled over the three levels: same draws, same order as
+            # the scalar per-level calls, minus the inner-loop overhead.
+            if c0 > 1:
+                draw = poisson(lam[0])
+                if draw:
+                    idle[slot, 0] = min(int(draw), c0 - 1)
+                    drawn = True
+            if c1 > 1:
+                draw = poisson(lam[1])
+                if draw:
+                    idle[slot, 1] = min(int(draw), c1 - 1)
+                    drawn = True
+            if c2 > 1:
+                draw = poisson(lam[2])
+                if draw:
+                    idle[slot, 2] = min(int(draw), c2 - 1)
+                    drawn = True
+        self._idle_drawn = drawn
 
     def _process_intervals_grouped(self, ix) -> None:
         """Vectorized polling dispatch + accounting over all (slot, level) cells.
 
-        Cores are grouped by level with one stable argsort per slot and
-        gathered into an ``(A, 3, n_max)`` positional capacity tensor.
-        Both reductions (processed and capacity totals) then run as one
-        fused masked column sweep for cells below 8 cores — numpy's
-        pairwise summation is plain left-to-right there, which the sweep
-        replays exactly — while the few wider cells reduce through
-        numpy's own row ``sum()`` per distinct core count, so every cell
-        is bit-identical to the scalar per-level reductions.  Idled cores
-        are zeroed exactly like the scalar path: uniform cells (no
-        penalised core at the level) idle their first ``idle`` cores —
-        ``np.argsort`` of a constant row is the identity permutation —
-        and the rare penalised+idle cells replay the scalar argsort
-        ranking individually.
+        The level-major core layout makes "level ``l``'s capacities in
+        scalar order" a row slice, so no per-interval argsort is needed.
+        Two regimes:
+
+        * **Uniform fast path** — no core anywhere is penalised or idled
+          (the overwhelmingly common interval).  Every core of a cell
+          then processes the same ``min(share, capability)``, so the
+          pairwise reductions collapse to
+          :func:`~repro.storage.dispatcher.replicated_pairwise_sum`
+          (processed) and a per-count capacity-table gather — no
+          ``(A, 3, n_max)`` tensor is materialised at all.
+        * **General path** — capacities are gathered positionally from
+          the level-major cooldown rows and both reductions run as one
+          fused masked column sweep that replays numpy's pairwise
+          summation (left-to-right under 8 elements, unrolled tree +
+          tail up to 15), exactly as the scalar per-level reductions.
+          Idled cores are zeroed like the scalar path: uniform cells
+          idle their first ``idle`` cores (``np.argsort`` of a constant
+          row is the identity permutation) and the rare penalised+idle
+          cells replay the scalar argsort ranking individually.
         """
         counts = self.counts[ix]
         n_max = int(counts.max())
@@ -419,37 +592,43 @@ class VectorSimulatorState:
             raise SimulationError(
                 "polling dispatch requires at least one core per level"
             )
-        batch = counts.shape[0]
-        penalized_cores = self.cooldown[ix] > 0
+        pending = self.backlog[ix]
+        pos_cooldown = self.pos_cooldown[ix]
+        penalized_cores = pos_cooldown > 0
         any_penalty = penalized_cores.any()
+        if not any_penalty and not self._idle_drawn:
+            share = pending / counts
+            per_core = np.minimum(share, self._capability)
+            processed = replicated_pairwise_sum(per_core, counts, n_max)
+            capacity = self._uniform_sums[counts]
+            self.processed[ix] = processed
+            self.capacity[ix] = capacity
+            self.utilization[ix] = np.minimum(1.0, processed / capacity)
+            self.backlog[ix] = np.maximum(0.0, pending - processed)
+            return
+
+        batch = counts.shape[0]
+        width = pos_cooldown.shape[2]
+        n_max = min(n_max, width)
+        # The padded positional tensor IS the per-level capacity layout —
+        # no gather, no argsort: position j of level row l holds the
+        # l-level core with the j-th smallest id, padding cooldowns are
+        # zero.  Zero the columns past each cell's core count so the
+        # column accumulations below reduce just the valid prefix
+        # (adding +0.0 is an exact identity).
         if any_penalty:
-            core_level = self.core_level[ix]
-            order = np.argsort(core_level, axis=1, kind="stable")
-            capall = np.where(
-                penalized_cores, self._penalized_capability, self._capability
+            caps = np.where(
+                penalized_cores[..., :n_max],
+                self._penalized_capability,
+                self._capability,
             )
-            arow = np.arange(batch)[:, None]
-            sorted_caps = capall[arow, order]
-            starts = np.zeros((batch, _NUM_LEVELS), dtype=np.int64)
-            starts[:, 1] = counts[:, 0]
-            starts[:, 2] = counts[:, 0] + counts[:, 1]
-            cols = np.minimum(
-                starts[:, :, None] + self._arange(n_max)[None, None, :],
-                self.num_cores - 1,
-            )
-            caps = sorted_caps[arow[:, :, None], cols]
         else:
             caps = np.full((batch, _NUM_LEVELS, n_max), self._capability)
-
-        # Zero the columns past each cell's core count: adding +0.0 is an
-        # exact identity, so the column accumulations below reduce just
-        # the valid prefix (all capacities are >= 0, so 0 * garbage is
-        # +0.0).
         caps *= self._arange(n_max)[None, None, :] < counts[:, :, None]
 
-        idle = self.idle[ix]
-        busy = idle > 0
-        if busy.any():
+        if self._idle_drawn:
+            idle = self.idle[ix]
+            busy = idle > 0
             if any_penalty:
                 # A cell needs the argsort ranking only when the level
                 # mixes full-speed and penalised cores; uniform cells
@@ -472,31 +651,28 @@ class VectorSimulatorState:
                     rank = np.argsort(-cell_caps)
                     cell_caps[rank[: idle[a, level]]] = 0.0
 
-        pending = self.backlog[ix]
         share = pending / counts
         # vals[0] = per-core processed, vals[1] = per-core capacity; the
-        # stacked layout lets one column sweep reduce both.
+        # stacked layout lets one row reduction serve both.
         vals = self._sweep_buffers.get((batch, n_max))
         if vals is None:
             vals = np.empty((2, batch, _NUM_LEVELS, n_max))
             self._sweep_buffers[(batch, n_max)] = vals
         np.minimum(share[:, :, None], caps, out=vals[0])
         vals[1] = caps
-        # Left-to-right column accumulation: numpy's pairwise summation
-        # of fewer than 8 elements.
-        totals = vals[..., 0].copy()
-        for j in range(1, min(n_max, 7)):
-            totals += vals[..., j]
-        if n_max >= 8:
-            # Cells of 8..15 cores follow numpy's unrolled-8 pairwise
-            # path: a balanced tree over the first eight values plus a
-            # sequential tail (columns past a cell's count add +0.0).
-            tree = (
-                (vals[..., 0] + vals[..., 1]) + (vals[..., 2] + vals[..., 3])
-            ) + ((vals[..., 4] + vals[..., 5]) + (vals[..., 6] + vals[..., 7]))
-            for j in range(8, n_max):
-                tree += vals[..., j]
-            totals = np.where(counts >= 8, tree, totals)
+        # numpy's own last-axis pairwise summation IS the scalar
+        # reduction order — left-to-right for rows under 8 elements, the
+        # unrolled-8 tree plus sequential tail for 8..15 — and zero
+        # columns are exact identities *within* each regime, so one
+        # ``sum`` per width class replaces the hand-rolled column sweep.
+        # Cells below 8 cores must reduce over at most 7 columns, though:
+        # the 8-wide tree associates their zero-padded values differently.
+        if n_max < 8:
+            totals = vals.sum(axis=-1)
+        else:
+            totals = np.where(
+                counts >= 8, vals.sum(axis=-1), vals[..., :7].sum(axis=-1)
+            )
 
         tp, tc = totals[0], totals[1]
         self.processed[ix] = tp
@@ -513,9 +689,8 @@ class VectorSimulatorState:
         """
         capability = self._capability
         for slot in rows.tolist():
-            level_row = self.core_level[slot]
-            cooldown_row = self.cooldown[slot]
-            no_penalty = not (cooldown_row > 0).any()
+            cooldown_rows = self.pos_cooldown[slot]
+            no_penalty = not (cooldown_rows > 0).any()
             for level_index in range(_NUM_LEVELS):
                 core_count = int(self.counts[slot, level_index])
                 idle = int(self.idle[slot, level_index])
@@ -525,9 +700,11 @@ class VectorSimulatorState:
                     if no_penalty:
                         capacities = np.full(core_count, capability, dtype=float)
                     else:
-                        member = level_row == level_index
+                        # Level-major rows keep a level's cores in core-id
+                        # order, so this slice matches the scalar
+                        # ``cores_at`` iteration exactly.
                         capacities = np.where(
-                            cooldown_row[member] > 0,
+                            cooldown_rows[level_index, :core_count] > 0,
                             self._penalized_capability,
                             capability,
                         ).astype(float)

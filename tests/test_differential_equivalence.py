@@ -1,0 +1,323 @@
+"""Randomized differential-equivalence harness for the rollout stack.
+
+The repo's standing regression net: ~50 seeded random simulator/workload/
+policy configurations (varying batch size, core allocations, penalties,
+idle rates, episode lengths and partial-batch endings) are each run
+through every collection mode and asserted **bit-identical** on rewards,
+observations, actions, hidden states, value estimates *and the final rng
+stream positions* of both the environment and the action streams:
+
+* scalar   — :class:`RolloutCollector`, one episode at a time;
+* vector   — :class:`BatchedRolloutCollector`, all episodes in lockstep;
+* parallel — :class:`ParallelRolloutCollector`, episodes sharded across
+  worker processes (subset of configs; process spawns are not free);
+* pool     — :class:`ParallelRolloutCollector` backed by the persistent
+  worker pool, reusing one pool across several configs/epochs.
+
+Every configuration is derived from a single seed, so a failure prints
+the config index and can be replayed in isolation with
+``pytest tests/test_differential_equivalence.py -k <index>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.drl.parallel import ParallelRolloutCollector
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.drl.worker_pool import PersistentWorkerPool
+from repro.drl.rollout import (
+    BatchedRolloutCollector,
+    RolloutCollector,
+    Trajectory,
+    derive_episode_streams,
+)
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.storage.iorequest import NUM_IO_TYPES
+from repro.storage.simulator import StorageSystemConfig
+from repro.storage.workload import WorkloadInterval, WorkloadTrace
+
+NUM_CONFIGS = 50
+# Process-based modes only run on a subset of configs: spawning worker
+# processes ~50 times would dominate the suite's wall-clock without
+# exercising anything new (worker layout never touches the rng streams).
+PARALLEL_CONFIG_STRIDE = 7
+
+
+@dataclass
+class FuzzCase:
+    """One fully-seeded random configuration of the differential harness."""
+
+    index: int
+    system_config: StorageSystemConfig
+    reward_config: RewardConfig
+    policy: RecurrentPolicyValueNet
+    traces: List[WorkloadTrace]
+    base_seed: int
+    epsilon: float
+    greedy: bool
+
+
+def _random_system_config(rng: np.random.Generator) -> StorageSystemConfig:
+    min_cores = int(rng.integers(1, 3))
+    counts = [min_cores + int(rng.integers(0, 4)) for _ in range(3)]
+    return StorageSystemConfig(
+        total_cores=sum(counts),
+        initial_allocation={"NORMAL": counts[0], "KV": counts[1], "RV": counts[2]},
+        core_capability_kb=float(rng.choice([20_000.0, 40_000.0, 65_000.0])),
+        cache_miss_rate=float(rng.uniform(0.0, 1.0)),
+        migration_penalty=float(rng.uniform(0.0, 0.5)),
+        migration_cooldown_intervals=int(rng.integers(0, 3)),
+        min_cores_per_level=min_cores,
+        idle_rate=float(rng.choice([0.0, 0.05, 0.25])),
+        # A tight interval cap on some configs exercises truncation (and
+        # with it partial batches that end on a truncated slot).
+        max_intervals_factor=float(rng.choice([1.5, 3.0, 12.0])),
+        max_intervals_slack=int(rng.integers(2, 30)),
+    )
+
+
+def _random_trace(
+    rng: np.random.Generator, name: str, duration: int, normal_capacity_kb: float
+) -> WorkloadTrace:
+    """A random trace loading the array to roughly 40–150% of capacity."""
+    intervals = []
+    mean_size_kb = 90.0  # uniform mix over the 14 standard IO types
+    for _ in range(duration):
+        ratios = rng.dirichlet(np.ones(NUM_IO_TYPES))
+        load = float(rng.uniform(0.4, 1.5))
+        intervals.append(
+            WorkloadInterval(ratios, load * normal_capacity_kb / mean_size_kb)
+        )
+    return WorkloadTrace(name=name, intervals=intervals)
+
+
+def make_case(index: int) -> FuzzCase:
+    rng = np.random.default_rng(90_000 + index)
+    system_config = _random_system_config(rng)
+    batch = int(rng.integers(1, 7))
+    normal_capacity = (
+        system_config.initial_allocation["NORMAL"] * system_config.core_capability_kb
+    )
+    traces = [
+        _random_trace(
+            rng,
+            f"fuzz/{index}/{i}",
+            duration=int(rng.integers(3, 12)),
+            normal_capacity_kb=normal_capacity,
+        )
+        for i in range(batch)
+    ]
+    # Hidden sizes are drawn from the widths whose inference kernels are
+    # bit-stable across batch sizes on supported BLAS builds: sizes below
+    # 7 resolve to einsum (stable by construction) and 8/12/16 resolve to
+    # the gemm path the repo's equivalence pins run on.  Probing this box
+    # showed gemm rows are NOT batch-stable for every width (e.g. 9-11
+    # with a 33-wide contraction differ by 1 ulp between B=2 and B=4), so
+    # arbitrary widths are deliberately out of the bit-identity contract.
+    policy = RecurrentPolicyValueNet(
+        PolicyConfig(hidden_size=int(rng.choice([4, 6, 8, 12, 16]))),
+        rng=int(rng.integers(1 << 31)),
+    )
+    greedy = bool(rng.integers(0, 2))
+    epsilon = float(rng.choice([0.0, 0.15, 0.4]))
+    reward_mode = str(rng.choice(["utilization_balance", "per_step_penalty"]))
+    return FuzzCase(
+        index=index,
+        system_config=system_config,
+        reward_config=RewardConfig(mode=reward_mode),
+        policy=policy,
+        traces=traces,
+        base_seed=int(rng.integers(1 << 62)),
+        epsilon=epsilon,
+        greedy=greedy,
+    )
+
+
+def _rng_position(rng: np.random.Generator) -> dict:
+    return rng.bit_generator.state
+
+
+def collect_scalar(case: FuzzCase):
+    """Sequential reference: per-episode trajectories + final rng positions."""
+    collector = RolloutCollector(
+        StorageAllocationEnv(case.system_config, reward_config=case.reward_config)
+    )
+    episode_rngs, action_rngs = derive_episode_streams(case.base_seed, len(case.traces))
+    trajectories = [
+        collector.collect(
+            case.policy,
+            trace,
+            epsilon=case.epsilon,
+            greedy=case.greedy,
+            episode_seed=episode_rngs[i],
+            action_rng=action_rngs[i],
+        )
+        for i, trace in enumerate(case.traces)
+    ]
+    positions = [
+        (_rng_position(episode_rngs[i]), _rng_position(action_rngs[i]))
+        for i in range(len(case.traces))
+    ]
+    return trajectories, positions
+
+
+def collect_vector(case: FuzzCase):
+    collector = BatchedRolloutCollector(
+        VectorStorageAllocationEnv(case.system_config, case.reward_config)
+    )
+    episode_rngs, action_rngs = derive_episode_streams(case.base_seed, len(case.traces))
+    trajectories = collector.collect_batch(
+        case.policy,
+        case.traces,
+        epsilon=case.epsilon,
+        greedy=case.greedy,
+        episode_rngs=episode_rngs,
+        action_rngs=action_rngs,
+    )
+    positions = [
+        (_rng_position(episode_rngs[i]), _rng_position(action_rngs[i]))
+        for i in range(len(case.traces))
+    ]
+    return trajectories, positions
+
+
+def assert_trajectories_identical(
+    reference: Trajectory, other: Trajectory, context: str
+) -> None:
+    __tracebackhide__ = True
+    assert reference.trace_name == other.trace_name, context
+    assert len(reference) == len(other), context
+    assert reference.makespan == other.makespan, context
+    assert reference.truncated == other.truncated, context
+    np.testing.assert_array_equal(
+        reference.observations(), other.observations(), err_msg=context
+    )
+    np.testing.assert_array_equal(
+        reference.raw_observations(), other.raw_observations(), err_msg=context
+    )
+    np.testing.assert_array_equal(
+        reference.hidden_states_before(), other.hidden_states_before(), err_msg=context
+    )
+    np.testing.assert_array_equal(
+        reference.hidden_states_after(), other.hidden_states_after(), err_msg=context
+    )
+    np.testing.assert_array_equal(reference.actions(), other.actions(), err_msg=context)
+    np.testing.assert_array_equal(reference.rewards(), other.rewards(), err_msg=context)
+    np.testing.assert_array_equal(
+        reference.value_estimates(), other.value_estimates(), err_msg=context
+    )
+    reference_masks = reference.valid_action_masks()
+    other_masks = other.valid_action_masks()
+    if reference_masks is None or other_masks is None:
+        assert reference_masks is None and other_masks is None, context
+    else:
+        np.testing.assert_array_equal(reference_masks, other_masks, err_msg=context)
+
+
+def _assert_case_equivalent(case: FuzzCase, reference, positions, candidate, name: str):
+    __tracebackhide__ = True
+    trajectories, candidate_positions = candidate
+    assert len(trajectories) == len(reference), f"config {case.index} ({name})"
+    for i, (expected, actual) in enumerate(zip(reference, trajectories)):
+        assert_trajectories_identical(
+            expected, actual, f"config {case.index} episode {i} ({name})"
+        )
+    if candidate_positions is not None:
+        for i, (expected, actual) in enumerate(zip(positions, candidate_positions)):
+            assert expected[0] == actual[0], (
+                f"config {case.index} episode {i} ({name}): environment rng stream "
+                "position diverged"
+            )
+            assert expected[1] == actual[1], (
+                f"config {case.index} episode {i} ({name}): action rng stream "
+                "position diverged"
+            )
+
+
+def collect_parallel(case: FuzzCase):
+    """Fork-per-epoch sharded collection (2 workers)."""
+    collector = ParallelRolloutCollector(
+        case.system_config, case.reward_config, num_workers=2
+    )
+    trajectories = collector.collect(
+        case.policy,
+        case.traces,
+        base_seed=case.base_seed,
+        epsilon=case.epsilon,
+        greedy=case.greedy,
+    )
+    # Streams are consumed inside the worker processes; rng positions are
+    # asserted through the scalar/vector modes.
+    return trajectories, None
+
+
+def collect_pool(case: FuzzCase):
+    """Persistent-pool collection (2 resident workers)."""
+    with PersistentWorkerPool(
+        case.system_config, case.reward_config, num_workers=2
+    ) as pool:
+        trajectories = pool.collect(
+            case.policy,
+            case.traces,
+            base_seed=case.base_seed,
+            epsilon=case.epsilon,
+            greedy=case.greedy,
+        )
+    return trajectories, None
+
+
+@pytest.mark.parametrize("index", range(NUM_CONFIGS))
+def test_scalar_vs_vector_bit_identical(index):
+    case = make_case(index)
+    reference, positions = collect_scalar(case)
+    _assert_case_equivalent(
+        case, reference, positions, collect_vector(case), "vector"
+    )
+
+
+@pytest.mark.parametrize("index", range(NUM_CONFIGS))
+def test_vector_vs_parallel_vs_pool_bit_identical(index):
+    """Process-sharded modes against the lockstep reference, all configs.
+
+    The parallel modes shard across 2 workers; any worker-layout leak
+    into the rng streams, the merge order, or the weight broadcast shows
+    up as a bitwise mismatch on some of the 50 random configs.
+    """
+    case = make_case(index)
+    reference, _ = collect_vector(case)
+    if index % PARALLEL_CONFIG_STRIDE == 0:
+        # Fork-per-epoch path on a subset (it shares all collection code
+        # with the pool below except process lifecycle, and 50 process
+        # pools would dominate the suite's wall-clock).
+        _assert_case_equivalent(
+            case, reference, None, collect_parallel(case), "parallel"
+        )
+    _assert_case_equivalent(case, reference, None, collect_pool(case), "pool")
+
+
+def test_case_generator_covers_the_interesting_axes():
+    """The harness only earns its name if the random configs actually vary."""
+    cases = [make_case(i) for i in range(NUM_CONFIGS)]
+    batch_sizes = {len(case.traces) for case in cases}
+    assert {1} < batch_sizes, "need both B=1 and B>1 configs"
+    assert any(case.system_config.idle_rate == 0.0 for case in cases)
+    assert any(case.system_config.idle_rate > 0.0 for case in cases)
+    assert any(case.system_config.min_cores_per_level == 2 for case in cases)
+    assert any(case.epsilon > 0.0 for case in cases)
+    assert any(case.greedy for case in cases)
+    assert any(not case.greedy for case in cases)
+    assert len({case.system_config.total_cores for case in cases}) >= 4
+    # Episode lengths differ inside at least one batch, so lockstep
+    # partial-batch endings (some slots finished, some active) occur.
+    assert any(
+        len({len(t) for t in case.traces}) > 1
+        for case in cases
+        if len(case.traces) > 1
+    )

@@ -183,15 +183,18 @@ class TestSweepExecution:
         victim_name = victim.name
         victim.unlink()
 
-        executed = []
+        seen = []
         second = SweepRunner(
             small_spec, output_dir=tmp_path, num_workers=1, resume=True,
-            progress=lambda done, total, record: executed.append(
-                (done, total, record["name"])
+            progress=lambda done, total, record: seen.append(
+                (done, total, record["name"], record.get("resumed", False))
             ),
         ).run()
-        # Only the deleted job was recomputed...
-        assert executed == [(1, 1, victim_name[: -len(".json")])]
+        # Progress covers every job (resumed ones flagged); only the
+        # deleted job was actually recomputed.
+        assert len(seen) == 4 and all(total == 4 for _, total, _, _ in seen)
+        executed = [name for _, _, name, resumed in seen if not resumed]
+        assert executed == [victim_name[: -len(".json")]]
         assert second.num_resumed == 3
         assert second.num_jobs == 4
         # ...and every file (including the recomputed one) is byte-identical.
@@ -209,12 +212,15 @@ class TestSweepExecution:
         tampered["metrics"]["num_traces"] = 999
         files[1].write_text(__import__("json").dumps(tampered))
 
-        executed = []
+        seen = []
         result = SweepRunner(
             small_spec, output_dir=tmp_path, num_workers=1, resume=True,
-            progress=lambda done, total, record: executed.append(record["name"]),
+            progress=lambda done, total, record: seen.append(
+                (record["name"], record.get("resumed", False))
+            ),
         ).run()
         assert result.num_resumed == 2
+        executed = [name for name, resumed in seen if not resumed]
         assert len(executed) == 2
         assert not result.failures
 
@@ -237,6 +243,42 @@ class TestSweepExecution:
             sorted((resumed_dir / "jobs").glob("*.json")),
         ):
             assert fresh.read_bytes() == resumed.read_bytes(), fresh.name
+
+    def test_resume_large_mostly_complete_sweep_executes_only_pending(
+        self, tmp_path
+    ):
+        """Lazy per-job verification: a mostly-complete 12-job sweep dir
+        resumes by re-executing exactly the 2 missing jobs — workers do
+        the digest checks, the parent never serially pre-verifies."""
+        spec = SweepSpec(
+            name="big",
+            kind="agents",
+            base={"num_traces": 1, "duration": 6, "agents": ["default"]},
+            grid={"target_load": [0.7, 0.8, 0.9, 1.0, 1.1, 1.2]},
+            seeds=[0, 1],
+        )
+        first = SweepRunner(spec, output_dir=tmp_path, num_workers=2).run()
+        assert first.num_jobs == 12
+        jobs_dir = tmp_path / "jobs"
+        original = {p.name: p.read_bytes() for p in jobs_dir.glob("*.json")}
+        victims = sorted(jobs_dir.glob("*.json"))[3:5]
+        victim_names = [p.name[: -len(".json")] for p in victims]
+        for victim in victims:
+            victim.unlink()
+
+        seen = []
+        second = SweepRunner(
+            spec, output_dir=tmp_path, num_workers=2, resume=True,
+            progress=lambda done, total, record: seen.append(
+                (record["name"], record.get("resumed", False))
+            ),
+        ).run()
+        assert second.num_resumed == 10
+        executed = sorted(name for name, resumed in seen if not resumed)
+        assert executed == sorted(victim_names)
+        # Byte-determinism: recomputed files match the originals exactly.
+        for path in sorted(jobs_dir.glob("*.json")):
+            assert path.read_bytes() == original[path.name], path.name
 
     def test_record_digest_matches_payload(self, small_spec):
         job = expand_jobs(small_spec)[0]

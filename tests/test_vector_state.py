@@ -20,7 +20,8 @@ from repro.agents.proportional import ProportionalAllocationPolicy
 from repro.env.environment import StorageAllocationEnv
 from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import SimulationError
-from repro.storage.dispatcher import pairwise_sum_ragged
+from repro.storage.cores import CorePool
+from repro.storage.dispatcher import pairwise_sum_ragged, replicated_pairwise_sum
 from repro.storage.simulator import StorageSimulator, StorageSystemConfig
 from repro.storage.vector_state import VectorSimulatorState
 
@@ -170,6 +171,56 @@ class TestBatchLifecycle:
         with pytest.raises(SimulationError):
             simulator.step(action)
 
+    def test_level_major_roundtrip_preserves_pool(self):
+        """CorePool -> level-major arrays -> CorePool is the identity,
+        including after migrations scrambled ids across levels."""
+        pool = CorePool.create({"NORMAL": 3, "KV": 2, "RV": 2})
+        pool.migrate_one(pool.cores[0].level, pool.cores[-1].level, cooldown_intervals=2)
+        pool.migrate_one(pool.cores[-1].level, pool.cores[0].level, cooldown_intervals=1)
+        ids, cooldowns, counts = pool.to_level_major()
+        rebuilt = CorePool.from_level_major(ids, cooldowns, counts)
+        assert rebuilt.counts_vector() == pool.counts_vector()
+        for original, copy in zip(pool.cores, rebuilt.cores):
+            assert original.core_id == copy.core_id
+            assert original.level is copy.level
+            assert original.migration_cooldown == copy.migration_cooldown
+        # Within each level group, ids ascend (the layout invariant the
+        # vectorized migration kernel maintains).
+        offset = 0
+        for count in counts:
+            group = ids[offset : offset + count]
+            assert list(group) == sorted(group)
+            offset += count
+
+    def test_vector_state_maintains_level_major_invariant(self, real_traces):
+        """After many random migrations the padded positional arrays still
+        hold each level's cores id-sorted with clean sentinel padding."""
+        state = VectorSimulatorState(StorageSystemConfig())
+        state.reset(list(real_traces)[:2], rngs=[0, 1])
+        rng = np.random.default_rng(5)
+        sentinel = state._id_sentinel
+        assert sentinel >= 2 * state.num_cores
+        for _ in range(30):
+            if state.done.all():
+                break
+            actions = rng.integers(0, 7, size=2)
+            actions[state.done] = 0
+            state.step(actions)
+            for slot in range(2):
+                counts = state.counts[slot]
+                seen = []
+                for level in range(3):
+                    count = int(counts[level])
+                    row = state.pos_ids[slot, level]
+                    group = list(row[:count])
+                    assert group == sorted(group), (slot, level, row)
+                    assert all(id_ == sentinel for id_ in row[count:]), (slot, level, row)
+                    assert not state.pos_cooldown[slot, level, count:].any()
+                    seen.extend(group)
+                assert sorted(seen) == list(range(state.num_cores))
+                pool = state.core_pool_view(slot)
+                assert pool.counts_vector() == list(counts)
+
     def test_core_pool_view_is_a_snapshot(self, real_traces):
         state = VectorSimulatorState(StorageSystemConfig())
         state.reset(list(real_traces)[:1], rngs=[0])
@@ -257,6 +308,34 @@ class TestPairwiseFoundations:
             [values[i, : lengths[i]].sum() for i in range(values.shape[0])]
         )
         np.testing.assert_array_equal(result, expected)
+
+    @pytest.mark.parametrize("n_max", [0, 1, 4, 7, 8, 12, 15])
+    def test_replicated_pairwise_sum_matches_numpy(self, n_max):
+        """The uniform-cell fast path's reduction: k copies of one value
+        sum exactly like ``np.full(k, v).sum()`` for every k <= 15."""
+        rng = np.random.default_rng(n_max)
+        values = rng.uniform(0.0, 1e6, size=(256,))
+        lengths = rng.integers(0, n_max + 1, size=256)
+        result = replicated_pairwise_sum(values, lengths, n_max)
+        expected = np.array(
+            [np.full(k, v).sum() for v, k in zip(values, lengths)]
+        )
+        np.testing.assert_array_equal(result, expected)
+
+    def test_replicated_pairwise_sum_matches_ragged_spec(self):
+        """Consistency with the general executable spec on constant rows."""
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 1e6, size=(64,))
+        lengths = rng.integers(0, 16, size=64)
+        tiled = np.tile(values[:, None], (1, 15))
+        np.testing.assert_array_equal(
+            replicated_pairwise_sum(values, lengths, 15),
+            pairwise_sum_ragged(tiled, lengths),
+        )
+
+    def test_replicated_pairwise_sum_rejects_wide_rows(self):
+        with pytest.raises(SimulationError):
+            replicated_pairwise_sum(np.ones(4), np.full(4, 16), 16)
 
     def test_argsort_of_constant_rows_is_identity(self):
         for n in range(1, 13):
