@@ -2,16 +2,20 @@
 
 Run with::
 
-    python examples/interpret_fsm.py
+    python examples/interpret_fsm.py [--compile-out artifact.npz]
 
 Runs the scaled-down pipeline and then performs the paper's two
 interpretation analyses on the extracted machine: fan-in/fan-out
 observation statistics per state (Figure 5) and the averaged
 observation-history window preceding entries into the most interesting
-non-Noop state (Figure 6).
+non-Noop state (Figure 6).  ``--compile-out`` additionally compiles the
+machine into the dense serving artifact (see ``repro.serving``), closing
+the train -> extract -> serve loop from this CLI.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.fsm.interpretation import fan_in_out_statistics, history_profile
 from repro.fsm.render import fsm_summary_table
@@ -21,8 +25,19 @@ from repro.utils.tables import format_series
 
 
 def main() -> None:
-    config = small_pipeline_config(seed=0, num_real_traces=12, num_eval_traces=6)
-    result = LearningAidedPipeline(config).run()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--compile-out", type=str, default=None, metavar="PATH",
+        help="also compile the extracted FSM + observation QBN into a "
+             "serving artifact (.npz) at PATH",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    pipeline = LearningAidedPipeline(
+        small_pipeline_config(seed=args.seed, num_real_traces=12, num_eval_traces=6)
+    )
+    result = pipeline.run()
     fsm = result.extraction.fsm
     records = result.extraction.records
 
@@ -48,6 +63,13 @@ def main() -> None:
     print(" ", format_series("capacity", steps, profile.capacity_ratio_series, floatfmt=".3f"))
     print(f"  write trend {profile.write_trend():+.0f} KB/interval, "
           f"capacity-ratio trend {profile.capacity_ratio_trend():+.4f}/interval")
+
+    if args.compile_out:
+        compiled = result.compiled_fsm_policy(pipeline.make_env())
+        compiled.save(args.compile_out)
+        print(f"\nCompiled serving artifact: {args.compile_out} "
+              f"({compiled.num_states} states x {compiled.num_observations} "
+              f"observation codes, start state row {compiled.start_state})")
 
 
 if __name__ == "__main__":

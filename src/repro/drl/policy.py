@@ -351,5 +351,14 @@ class RecurrentPolicyValueNet(Module):
             action = int(rng.integers(self.config.num_actions))
         return action
 
+    def initial_hidden_np(self, batch_size: int) -> np.ndarray:
+        """Fresh all-zero hidden rows for ``batch_size`` sessions.
+
+        The plain-array counterpart of :meth:`initial_state` used by the
+        serving layer, whose session tables hold hidden state as numpy
+        rows rather than tensors.
+        """
+        return np.zeros((batch_size, self.config.hidden_size))
+
     def hidden_dim(self) -> int:
         return self.config.hidden_size

@@ -101,19 +101,23 @@ class ObservationEncoder:
     def dimension(self) -> int:
         return OBSERVATION_DIM
 
-    def is_equivalent(self, other: "ObservationEncoder") -> bool:
-        """Whether ``other`` normalises observations identically.
+    def constants(self) -> Dict[str, float]:
+        """The complete set of constants :meth:`normalize` depends on.
 
-        Owns the complete list of constants :meth:`normalize` depends on
-        (keep in sync when normalisation gains parameters) — consumers
-        such as the batched evaluation router use this to decide whether
-        an agent's encoder can be swapped for a default one.
+        Keep in sync when normalisation gains parameters — consumers are
+        :meth:`is_equivalent` and the compiled serving artifact, which
+        stamps these values so a serving process can verify its encoder
+        normalises exactly like the one the FSM was extracted under.
         """
-        return (
-            self._nominal_requests == other._nominal_requests
-            and self._max_size_kb == other._max_size_kb
-            and self.system_config.total_cores == other.system_config.total_cores
-        )
+        return {
+            "total_cores": float(self.system_config.total_cores),
+            "max_size_kb": self._max_size_kb,
+            "nominal_requests": self._nominal_requests,
+        }
+
+    def is_equivalent(self, other: "ObservationEncoder") -> bool:
+        """Whether ``other`` normalises observations identically."""
+        return self.constants() == other.constants()
 
     # ------------------------------------------------------------------
     # Construction
@@ -146,13 +150,16 @@ class ObservationEncoder:
         requests = np.array([observation.total_requests / self._nominal_requests])
         return np.concatenate([counts, utils, sizes, ratios, requests]).astype(float)
 
-    def normalize_batch(self, raw_matrix: np.ndarray) -> np.ndarray:
+    def normalize_batch(self, raw_matrix: np.ndarray, out: np.ndarray = None) -> np.ndarray:
         """Normalise a (B, 35) matrix of raw observations in one shot.
 
         Every operation is elementwise (or a per-row slice of one), so row
         ``i`` of the result is bit-identical to ``normalize`` applied to
         the corresponding single observation — the property the vectorized
-        environment relies on.
+        environment relies on.  ``out`` optionally supplies the result
+        buffer (same shape) so callers on a hot path — the decision
+        server normalises every request micro-batch — can reuse one
+        allocation; every column is overwritten.
         """
         raw_matrix = np.asarray(raw_matrix, dtype=float)
         if raw_matrix.ndim != 2 or raw_matrix.shape[1] != OBSERVATION_DIM:
@@ -160,9 +167,14 @@ class ObservationEncoder:
                 f"raw matrix must have shape (B, {OBSERVATION_DIM}), got {raw_matrix.shape}"
             )
         n = NUM_IO_TYPES
-        out = np.empty_like(raw_matrix)
+        if out is None:
+            out = np.empty_like(raw_matrix)
+        elif out.shape != raw_matrix.shape:
+            raise EnvironmentError_(
+                f"out buffer shape {out.shape} does not match input {raw_matrix.shape}"
+            )
         out[:, 0:3] = raw_matrix[:, 0:3] / float(self.system_config.total_cores)
-        out[:, 3:6] = np.clip(raw_matrix[:, 3:6], 0.0, 1.0)
+        np.clip(raw_matrix[:, 3:6], 0.0, 1.0, out=out[:, 3:6])
         out[:, 6 : 6 + n] = raw_matrix[:, 6 : 6 + n] / self._max_size_kb
         out[:, 6 + n : 6 + 2 * n] = raw_matrix[:, 6 + n : 6 + 2 * n]
         out[:, 6 + 2 * n] = raw_matrix[:, 6 + 2 * n] / self._nominal_requests

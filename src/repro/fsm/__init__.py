@@ -10,7 +10,12 @@ windows (Section 3.3, Figures 5 and 6).
 
 from repro.fsm.machine import FSMState, FiniteStateMachine
 from repro.fsm.extraction import FSMExtractor, ExtractionConfig, ExtractionResult
-from repro.fsm.generalize import NearestObservationMatcher, SIMILARITY_METRICS
+from repro.fsm.generalize import (
+    NearestObservationMatcher,
+    SIMILARITY_METRICS,
+    nearest_prototype_rows,
+)
+from repro.fsm.serialize import fsm_from_payload, fsm_to_payload, load_fsm, save_fsm
 from repro.fsm.minimize import merge_equivalent_states, prune_rare_states
 from repro.fsm.interpretation import (
     FanInOutStats,
@@ -30,6 +35,11 @@ __all__ = [
     "ExtractionResult",
     "NearestObservationMatcher",
     "SIMILARITY_METRICS",
+    "nearest_prototype_rows",
+    "fsm_to_payload",
+    "fsm_from_payload",
+    "save_fsm",
+    "load_fsm",
     "merge_equivalent_states",
     "prune_rare_states",
     "FanInOutStats",

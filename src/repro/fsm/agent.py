@@ -73,7 +73,12 @@ class FSMPolicyAgent(Agent):
         observation_code = code_key(self.observation_qbn.discrete_code(normalized))
         known = observation_code in self.fsm.observation_prototypes
         if not known and self.matcher is not None:
-            observation_code = self.matcher.match(normalized)
+            # The code is already established as unseen, so the matcher's
+            # exact-encoder shortcut cannot fire; going straight to the
+            # shared nearest-prototype resolution keeps this agent and the
+            # compiled serving fast path on one code path (and one
+            # tie-break order) for fallback decisions.
+            observation_code = self.matcher.key_at(self.matcher.match_index(normalized))
             self.unseen_observation_count += 1
         self._state, action = self.fsm.step(self._state, observation_code)
         return action

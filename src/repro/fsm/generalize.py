@@ -36,6 +36,44 @@ SIMILARITY_METRICS: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
 }
 
 
+def nearest_prototype_rows(
+    matrix: np.ndarray, vectors: np.ndarray, metric: str = "euclidean"
+) -> np.ndarray:
+    """Row indices of the prototypes in ``matrix`` closest to each vector.
+
+    The one nearest-prototype resolution shared by the scalar
+    :class:`NearestObservationMatcher` and the batched serving fast path
+    (:class:`repro.serving.compiled_fsm.CompiledFSMPolicy`), so both
+    layers fall back to *identical* prototypes for unseen observations.
+    Row ``i`` of the result is bit-identical to resolving ``vectors[i]``
+    alone: the euclidean branch reduces the (fixed-length) feature axis
+    with the same pairwise summation regardless of how many query rows
+    share the batch, and ties break to the lowest row index either way.
+    """
+    if metric not in SIMILARITY_METRICS:
+        raise ExtractionError(
+            f"unknown similarity metric {metric!r}; available: {sorted(SIMILARITY_METRICS)}"
+        )
+    matrix = np.asarray(matrix, dtype=float)
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim == 1:
+        vectors = vectors[None, :]
+    if metric == "euclidean":
+        diffs = matrix[None, :, :] - vectors[:, None, :]
+        distances = np.sqrt((diffs * diffs).sum(axis=-1))
+        return distances.argmin(axis=1)
+    # Cosine is never on the serving hot path; the scalar loop keeps it
+    # byte-for-byte the historical per-row computation.
+    distance = SIMILARITY_METRICS[metric]
+    return np.array(
+        [
+            int(np.argmin([distance(row, vector) for row in matrix]))
+            for vector in vectors
+        ],
+        dtype=np.int64,
+    )
+
+
 class NearestObservationMatcher:
     """Maps observation vectors to the nearest known observation code."""
 
@@ -61,6 +99,20 @@ class NearestObservationMatcher:
     def num_prototypes(self) -> int:
         return len(self._keys)
 
+    @property
+    def keys(self) -> list:
+        """Prototype codes in their stable (insertion) order (copy).
+
+        Row ``i`` of the distance matrix corresponds to ``keys[i]``; the
+        compiled serving path relies on this ordering matching its own
+        prototype table so both resolve ties identically.
+        """
+        return list(self._keys)
+
+    def key_at(self, index: int) -> ObservationKey:
+        """The prototype code at ``index`` (no list copy — hot fallback path)."""
+        return self._keys[index]
+
     def match(self, observation_vector: np.ndarray) -> ObservationKey:
         """Return the known observation code closest to ``observation_vector``.
 
@@ -72,13 +124,14 @@ class NearestObservationMatcher:
             exact = self._encoder(vector)
             if exact in set(self._keys):
                 return exact
-        if self.metric_name == "euclidean":
-            distances = np.linalg.norm(self._matrix - vector[None, :], axis=1)
-        else:
-            distances = np.array(
-                [self._distance(row, vector) for row in self._matrix]
-            )
-        return self._keys[int(np.argmin(distances))]
+        return self._keys[self.match_index(vector)]
+
+    def match_index(self, observation_vector: np.ndarray) -> int:
+        """Index (into :attr:`keys`) of the nearest prototype."""
+        vector = np.asarray(observation_vector, dtype=float)
+        return int(
+            nearest_prototype_rows(self._matrix, vector[None, :], self.metric_name)[0]
+        )
 
     def distance_to_nearest(self, observation_vector: np.ndarray) -> float:
         """Distance from ``observation_vector`` to its nearest prototype."""

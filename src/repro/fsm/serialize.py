@@ -1,0 +1,109 @@
+"""JSON persistence for extracted finite state machines.
+
+A trained FSM is the deployable end product of the pipeline, so it has
+to outlive the process that extracted it.  :func:`save_fsm` writes the
+complete machine — states, transition table, transition counts,
+observation prototypes and the start state — as one JSON document via
+the atomic writer in :mod:`repro.utils.serialization`, and
+:func:`load_fsm` rebuilds a machine that is equivalent in every way the
+serving layer can observe.
+
+Two properties matter beyond plain data fidelity:
+
+* **insertion order** of the ``states``, ``transitions`` and
+  ``observation_prototypes`` dicts is preserved (JSON arrays), because
+  the compiled serving tables and the nearest-prototype matcher derive
+  their row ordering — and therefore their argmin tie-breaks — from it;
+* prototype vectors roundtrip **bit-exactly** (Python's ``repr``-based
+  float JSON encoding is lossless for binary64), so a compiled artifact
+  built from a loaded FSM matches one built before saving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import SerializationError
+from repro.fsm.machine import FiniteStateMachine, FSMState
+from repro.storage.migration import MigrationAction
+from repro.utils.serialization import PathLike, load_json, save_json
+
+FSM_FORMAT_VERSION = 1
+
+
+def fsm_to_payload(fsm: FiniteStateMachine) -> Dict[str, Any]:
+    """The machine as a JSON-compatible dict (see :func:`save_fsm`)."""
+    return {
+        "format_version": FSM_FORMAT_VERSION,
+        "states": [
+            {
+                "code": list(code),
+                "state_id": state.state_id,
+                "action": int(state.action),
+                "visit_count": state.visit_count,
+            }
+            for code, state in fsm.states.items()
+        ],
+        "transitions": [
+            {"source": list(source), "observation": list(observation), "destination": list(destination)}
+            for (source, observation), destination in fsm.transitions.items()
+        ],
+        "transition_counts": [
+            {"source": list(source), "destination": list(destination), "count": count}
+            for (source, destination), count in fsm.transition_counts.items()
+        ],
+        "observation_prototypes": [
+            {"code": list(code), "vector": vector.tolist()}
+            for code, vector in fsm.observation_prototypes.items()
+        ],
+        "initial_state": list(fsm.initial_state) if fsm.initial_state is not None else None,
+    }
+
+
+def fsm_from_payload(payload: Dict[str, Any]) -> FiniteStateMachine:
+    """Rebuild a machine from :func:`fsm_to_payload` output and validate it."""
+    import numpy as np
+
+    version = payload.get("format_version")
+    if version != FSM_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported FSM format version {version!r} (expected {FSM_FORMAT_VERSION})"
+        )
+    fsm = FiniteStateMachine()
+    for entry in payload["states"]:
+        code = tuple(int(c) for c in entry["code"])
+        fsm.states[code] = FSMState(
+            state_id=int(entry["state_id"]),
+            code=code,
+            action=MigrationAction(int(entry["action"])),
+            visit_count=int(entry["visit_count"]),
+        )
+    for entry in payload["transitions"]:
+        source = tuple(int(c) for c in entry["source"])
+        observation = tuple(int(c) for c in entry["observation"])
+        destination = tuple(int(c) for c in entry["destination"])
+        fsm.transitions[(source, observation)] = destination
+    for entry in payload["transition_counts"]:
+        pair = (
+            tuple(int(c) for c in entry["source"]),
+            tuple(int(c) for c in entry["destination"]),
+        )
+        fsm.transition_counts[pair] = int(entry["count"])
+    for entry in payload["observation_prototypes"]:
+        code = tuple(int(c) for c in entry["code"])
+        fsm.observation_prototypes[code] = np.asarray(entry["vector"], dtype=float)
+    if payload.get("initial_state") is not None:
+        fsm.initial_state = tuple(int(c) for c in payload["initial_state"])
+    fsm.validate()
+    return fsm
+
+
+def save_fsm(path: PathLike, fsm: FiniteStateMachine) -> None:
+    """Persist ``fsm`` to ``path`` as JSON, atomically."""
+    fsm.validate()
+    save_json(path, fsm_to_payload(fsm))
+
+
+def load_fsm(path: PathLike) -> FiniteStateMachine:
+    """Load a machine written by :func:`save_fsm` (validated on load)."""
+    return fsm_from_payload(load_json(path))

@@ -114,6 +114,21 @@ class PipelineResult:
             self.extraction, env.observation_encoder, self.qbn_result.observation_qbn
         )
 
+    def compiled_fsm_policy(self, env: StorageAllocationEnv):
+        """Compile the extracted FSM into the dense serving fast path.
+
+        Returns a :class:`repro.serving.compiled_fsm.CompiledFSMPolicy`
+        stamped with ``env``'s normalisation constants — the train →
+        extract → serve handoff in one call.
+        """
+        from repro.serving.compiled_fsm import CompiledFSMPolicy
+
+        return CompiledFSMPolicy.compile(
+            self.extraction.fsm,
+            self.qbn_result.observation_qbn,
+            encoder=env.observation_encoder,
+        )
+
 
 class LearningAidedPipeline:
     """Orchestrates the full learning-aided heuristics design process."""

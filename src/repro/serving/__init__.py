@@ -1,0 +1,42 @@
+"""Online policy serving: compiled decision tables, micro-batching, shadowing.
+
+The layer that turns trained artifacts (GRU policy, extracted FSM,
+observation QBN) into a high-throughput decision service:
+
+* :mod:`repro.serving.compiled_fsm` — the FSM + quantiser flattened into
+  dense numpy tables; a decision is an integer gather, bit-identical to
+  the interpreted :class:`~repro.fsm.agent.FSMPolicyAgent`;
+* :mod:`repro.serving.sessions` — array-backed per-session state with
+  free-list slot reuse for very large concurrent session counts;
+* :mod:`repro.serving.server` — the micro-batching request broker and
+  the :class:`DecisionBackend` protocol its backends implement;
+* :mod:`repro.serving.shadow` — run a second backend in shadow mode and
+  stream serving-time fidelity counters.
+"""
+
+from repro.serving.compiled_fsm import CompiledDecision, CompiledFSMPolicy
+from repro.serving.server import (
+    CompiledFSMBackend,
+    DecisionBackend,
+    DecisionTicket,
+    GRUPolicyBackend,
+    HeuristicAgentBackend,
+    PolicyServer,
+    ServerStats,
+)
+from repro.serving.sessions import SessionTable
+from repro.serving.shadow import ShadowEvaluator
+
+__all__ = [
+    "CompiledDecision",
+    "CompiledFSMPolicy",
+    "CompiledFSMBackend",
+    "DecisionBackend",
+    "DecisionTicket",
+    "GRUPolicyBackend",
+    "HeuristicAgentBackend",
+    "PolicyServer",
+    "ServerStats",
+    "SessionTable",
+    "ShadowEvaluator",
+]

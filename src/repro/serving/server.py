@@ -1,0 +1,365 @@
+"""The micro-batching policy decision server.
+
+:class:`PolicyServer` is the front door of the serving subsystem: clients
+open sessions, submit allocation requests (raw observation vectors) and
+get back migration decisions.  Requests are not answered one at a time —
+the server queues them and answers a whole *micro-batch* with one
+backend call, which is what lets the batched decision kernels (compiled
+FSM gathers, ``policy.act_batch``) amortise their fixed Python cost over
+hundreds of concurrent sessions.
+
+Backends implement one small :class:`DecisionBackend` protocol:
+
+* :class:`CompiledFSMBackend` — the O(1) table-gather fast path;
+* :class:`GRUPolicyBackend` — the full recurrent policy via
+  ``act_batch`` (greedy), hidden rows resident in the session table;
+* :class:`HeuristicAgentBackend` — any scalar :class:`~repro.agents.base.Agent`
+  (one instance per session), the compatibility path for baselines.
+
+The same protocol is what :class:`~repro.serving.shadow.ShadowEvaluator`
+implements to run a second backend in shadow mode behind the primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.drl.policy import RecurrentPolicyValueNet
+from repro.env.observation import OBSERVATION_DIM, ObservationEncoder
+from repro.errors import ConfigurationError
+from repro.serving.compiled_fsm import CompiledFSMPolicy
+from repro.serving.sessions import SessionTable
+from repro.storage.migration import MigrationAction
+
+
+@runtime_checkable
+class DecisionBackend(Protocol):
+    """What the server needs from a decision engine."""
+
+    name: str
+
+    def session_table(self, capacity: int) -> SessionTable:
+        """A :class:`SessionTable` shaped for this backend's per-session state."""
+
+    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
+        """Initialise per-session state for freshly opened ``slots``."""
+
+    def decide(
+        self,
+        table: SessionTable,
+        slots: np.ndarray,
+        raw: np.ndarray,
+        normalized: np.ndarray,
+    ) -> np.ndarray:
+        """Decide one action per row and advance the sessions' state."""
+
+    # Optional protocol extensions (the server calls them when present):
+    #
+    # ``check_encoder(encoder)`` — raise ConfigurationError if the
+    # server's observation encoder is incompatible with the backend's
+    # compiled artifacts.
+    # ``end_sessions(table, slots)`` — release per-session resources
+    # when sessions close.
+
+
+class CompiledFSMBackend:
+    """Serves decisions from a :class:`CompiledFSMPolicy`'s dense tables."""
+
+    def __init__(self, policy: CompiledFSMPolicy) -> None:
+        self.policy = policy
+        self.name = "compiled_fsm"
+
+    def check_encoder(self, encoder: ObservationEncoder) -> None:
+        """Refuse to serve behind an encoder the artifact was not compiled for."""
+        if not self.policy.matches_encoder(encoder):
+            raise ConfigurationError(
+                "observation encoder normalises differently from the one the "
+                "compiled FSM artifact was stamped with "
+                f"(artifact constants {self.policy.encoder_constants.tolist()}, "
+                f"encoder constants {encoder.constants()}) — decisions would "
+                "silently diverge from the extracted policy"
+            )
+
+    def session_table(self, capacity: int) -> SessionTable:
+        return SessionTable(capacity=capacity, hidden_size=0)
+
+    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
+        table.state[slots] = self.policy.start_state
+
+    def decide(
+        self,
+        table: SessionTable,
+        slots: np.ndarray,
+        raw: np.ndarray,
+        normalized: np.ndarray,
+    ) -> np.ndarray:
+        decision = self.policy.act_batch(normalized, table.state[slots])
+        table.state[slots] = decision.next_states
+        return decision.actions
+
+
+class GRUPolicyBackend:
+    """Serves decisions from the recurrent policy (greedy ``act_batch``)."""
+
+    def __init__(self, policy: RecurrentPolicyValueNet) -> None:
+        self.policy = policy
+        self.name = "gru"
+
+    def session_table(self, capacity: int) -> SessionTable:
+        return SessionTable(capacity=capacity, hidden_size=self.policy.hidden_dim())
+
+    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
+        table.hidden[slots] = self.policy.initial_hidden_np(slots.shape[0])
+
+    def decide(
+        self,
+        table: SessionTable,
+        slots: np.ndarray,
+        raw: np.ndarray,
+        normalized: np.ndarray,
+    ) -> np.ndarray:
+        output = self.policy.act_batch(normalized, table.hidden[slots], greedy=True)
+        table.hidden[slots] = output.hidden_states
+        return np.asarray(output.actions, dtype=np.int64)
+
+
+class HeuristicAgentBackend:
+    """Serves any scalar :class:`Agent` — one instance per open session.
+
+    The per-session objects make this the compatibility path, not the
+    scale path; it exists so baseline heuristics can be A/B'd (and
+    shadowed) behind the same server interface as the learned policies.
+    """
+
+    def __init__(
+        self, agent_factory: Callable[[], Agent], encoder: ObservationEncoder
+    ) -> None:
+        self.agent_factory = agent_factory
+        self.encoder = encoder
+        self._agents: Dict[int, Agent] = {}
+        # Most factories are Agent classes with a class-level name; only
+        # build a throwaway instance when the factory hides it (lambdas).
+        label = getattr(agent_factory, "name", None)
+        self.name = f"heuristic({label if isinstance(label, str) else agent_factory().name})"
+
+    def session_table(self, capacity: int) -> SessionTable:
+        return SessionTable(capacity=capacity, hidden_size=0)
+
+    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
+        for slot in slots.tolist():
+            agent = self.agent_factory()
+            agent.reset()
+            self._agents[int(slot)] = agent
+
+    def end_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
+        for slot in slots.tolist():
+            self._agents.pop(int(slot), None)
+
+    def decide(
+        self,
+        table: SessionTable,
+        slots: np.ndarray,
+        raw: np.ndarray,
+        normalized: np.ndarray,
+    ) -> np.ndarray:
+        actions = np.empty(slots.shape[0], dtype=np.int64)
+        for i, slot in enumerate(slots.tolist()):
+            observation = self.encoder.split_raw(raw[i])
+            actions[i] = int(self._agents[int(slot)].act(observation))
+        return actions
+
+
+class DecisionTicket:
+    """Handle for one queued request; resolves at the next flush."""
+
+    __slots__ = ("session_id", "_action")
+
+    def __init__(self, session_id: int) -> None:
+        self.session_id = int(session_id)
+        self._action: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self._action is not None
+
+    def result(self) -> MigrationAction:
+        if self._action is None:
+            raise ConfigurationError(
+                "decision not available yet — flush() the server first"
+            )
+        return MigrationAction(self._action)
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving counters (reported by :meth:`PolicyServer.stats`)."""
+
+    decisions: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    action_counts: np.ndarray = field(
+        default_factory=lambda: np.zeros(len(MigrationAction), dtype=np.int64)
+    )
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.decisions / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "decisions": self.decisions,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "max_batch": self.max_batch,
+            "action_counts": self.action_counts.tolist(),
+        }
+
+
+class PolicyServer:
+    """Micro-batching request broker in front of one decision backend.
+
+    Two usage styles share the same batched core:
+
+    * **queued** — ``submit()`` per request returns a
+      :class:`DecisionTicket`; the queue auto-flushes when it reaches
+      ``max_batch_size`` (or on explicit ``flush()``), at which point
+      every queued ticket resolves from one backend call;
+    * **direct** — ``decide_now(session_ids, raw_matrix)`` for callers
+      that already hold a whole batch (benchmarks, bulk evaluation).
+
+    A session may have at most one request in flight; submitting a second
+    one first flushes the queue, preserving the per-session decision
+    order a sequential client would see.
+    """
+
+    def __init__(
+        self,
+        backend: DecisionBackend,
+        encoder: ObservationEncoder,
+        max_batch_size: int = 256,
+        initial_capacity: int = 1024,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+        check_encoder = getattr(backend, "check_encoder", None)
+        if check_encoder is not None:
+            check_encoder(encoder)
+        self.backend = backend
+        self.encoder = encoder
+        self.max_batch_size = int(max_batch_size)
+        self.table = backend.session_table(initial_capacity)
+        self._pending_slots: List[int] = []
+        self._pending_raw: List[np.ndarray] = []
+        self._pending_tickets: List[DecisionTicket] = []
+        self._pending_set: set = set()
+        self._stats = ServerStats()
+        # Single-entry normalisation buffer: replaced (not accumulated)
+        # when the micro-batch size changes, so steady-state serving is
+        # allocation-free and fluctuating batch sizes stay bounded.
+        self._normalize_buffer: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_sessions(self, count: int = 1) -> np.ndarray:
+        slots = self.table.open(count)
+        self.backend.begin_sessions(self.table, slots)
+        return slots
+
+    def open_session(self) -> int:
+        return int(self.open_sessions(1)[0])
+
+    def close_sessions(self, session_ids) -> None:
+        slots = self.table.checked_slots(session_ids)
+        still_pending = [s for s in slots.tolist() if s in self._pending_set]
+        if still_pending:
+            self.flush()
+        end_sessions = getattr(self.backend, "end_sessions", None)
+        if end_sessions is not None:
+            end_sessions(self.table, slots)
+        self.table.close(slots)
+
+    # ------------------------------------------------------------------
+    # Queued path
+    # ------------------------------------------------------------------
+    def submit(self, session_id: int, raw_observation: np.ndarray) -> DecisionTicket:
+        """Queue one request; auto-flush when the micro-batch fills."""
+        raw = np.asarray(raw_observation, dtype=float)
+        if raw.shape != (OBSERVATION_DIM,):
+            raise ConfigurationError(
+                f"raw observation must have shape ({OBSERVATION_DIM},), got {raw.shape}"
+            )
+        slot = int(self.table.checked_slots(session_id)[0])
+        if slot in self._pending_set:
+            self.flush()
+        ticket = DecisionTicket(slot)
+        self._pending_slots.append(slot)
+        self._pending_raw.append(raw)
+        self._pending_tickets.append(ticket)
+        self._pending_set.add(slot)
+        if len(self._pending_slots) >= self.max_batch_size:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Serve every queued request in one backend call; returns the count."""
+        if not self._pending_slots:
+            return 0
+        slots = np.array(self._pending_slots, dtype=np.int64)
+        raw = np.stack(self._pending_raw)
+        tickets = self._pending_tickets
+        self._pending_slots = []
+        self._pending_raw = []
+        self._pending_tickets = []
+        self._pending_set = set()
+        actions = self._decide(slots, raw)
+        for ticket, action in zip(tickets, actions.tolist()):
+            ticket._action = int(action)
+        return int(actions.shape[0])
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending_slots)
+
+    # ------------------------------------------------------------------
+    # Direct path
+    # ------------------------------------------------------------------
+    def decide_now(self, session_ids, raw_matrix: np.ndarray) -> np.ndarray:
+        """Serve one already-assembled batch (row i answers session i)."""
+        slots = self.table.checked_slots(session_ids)
+        raw = np.asarray(raw_matrix, dtype=float)
+        if raw.ndim != 2 or raw.shape[0] != slots.shape[0]:
+            raise ConfigurationError(
+                f"raw matrix must have one row per session, got {raw.shape} "
+                f"for {slots.shape[0]} sessions"
+            )
+        if slots.shape[0] > 1 and np.bincount(slots).max() > 1:
+            raise ConfigurationError("decide_now batches need distinct sessions")
+        return self._decide(slots, raw)
+
+    # ------------------------------------------------------------------
+    # Shared core
+    # ------------------------------------------------------------------
+    def _decide(self, slots: np.ndarray, raw: np.ndarray) -> np.ndarray:
+        buffer = self._normalize_buffer
+        if buffer is None or buffer.shape != raw.shape:
+            buffer = np.empty_like(raw)
+            self._normalize_buffer = buffer
+        normalized = self.encoder.normalize_batch(raw, out=buffer)
+        actions = self.backend.decide(self.table, slots, raw, normalized)
+        # ``slots`` were validated by the caller; count directly.
+        self.table.steps[slots] += 1
+        self._stats.decisions += int(slots.shape[0])
+        self._stats.batches += 1
+        self._stats.max_batch = max(self._stats.max_batch, int(slots.shape[0]))
+        self._stats.action_counts += np.bincount(
+            actions, minlength=self._stats.action_counts.shape[0]
+        )
+        return actions
+
+    def stats(self) -> ServerStats:
+        return self._stats

@@ -1,0 +1,146 @@
+"""FSM JSON persistence and the shared unseen-observation resolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.fsm.generalize import NearestObservationMatcher, nearest_prototype_rows
+from repro.fsm.machine import FiniteStateMachine
+from repro.fsm.serialize import fsm_to_payload, load_fsm, save_fsm
+from repro.storage.migration import MigrationAction
+
+
+def build_machine(rng: np.random.Generator, num_states: int = 6) -> FiniteStateMachine:
+    """A small machine with states, transitions, prototypes and a start state."""
+    fsm = FiniteStateMachine()
+    codes = []
+    while len(codes) < num_states:
+        code = tuple(int(c) for c in rng.integers(0, 3, size=5))
+        if code not in fsm.states:
+            codes.append(code)
+            state = fsm.add_state(code, MigrationAction(int(rng.integers(7))))
+            state.visit_count = int(rng.integers(50))
+    observations = [tuple(int(c) for c in rng.integers(0, 3, size=4)) for _ in range(8)]
+    for _ in range(25):
+        source = codes[int(rng.integers(len(codes)))]
+        destination = codes[int(rng.integers(len(codes)))]
+        observation = observations[int(rng.integers(len(observations)))]
+        fsm.add_transition(
+            source, observation, destination,
+            observation_vector=rng.normal(size=7),
+        )
+    fsm.initial_state = codes[0]
+    fsm.validate()
+    return fsm
+
+
+class TestFSMPersistence:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        fsm = build_machine(np.random.default_rng(0))
+        path = tmp_path / "fsm.json"
+        save_fsm(path, fsm)
+        loaded = load_fsm(path)
+
+        loaded.validate()
+        assert list(loaded.states.keys()) == list(fsm.states.keys())
+        for code, state in fsm.states.items():
+            other = loaded.states[code]
+            assert (other.state_id, other.action, other.visit_count) == (
+                state.state_id, state.action, state.visit_count,
+            )
+        assert loaded.transitions == fsm.transitions
+        assert loaded.transition_counts == fsm.transition_counts
+        assert loaded.initial_state == fsm.initial_state
+        assert list(loaded.observation_prototypes.keys()) == list(
+            fsm.observation_prototypes.keys()
+        )
+        for key, vector in fsm.observation_prototypes.items():
+            # Bit-exact: JSON float encoding is repr-based and lossless.
+            assert np.array_equal(loaded.observation_prototypes[key], vector)
+
+    def test_roundtrip_is_stable(self, tmp_path):
+        """Payload of a loaded machine equals the payload it was saved from."""
+        fsm = build_machine(np.random.default_rng(7))
+        path = tmp_path / "fsm.json"
+        save_fsm(path, fsm)
+        assert fsm_to_payload(load_fsm(path)) == fsm_to_payload(fsm)
+
+    def test_none_initial_state_roundtrips(self, tmp_path):
+        fsm = build_machine(np.random.default_rng(3))
+        fsm.initial_state = None
+        save_fsm(tmp_path / "fsm.json", fsm)
+        assert load_fsm(tmp_path / "fsm.json").initial_state is None
+
+    def test_step_behaviour_identical_after_roundtrip(self, tmp_path):
+        fsm = build_machine(np.random.default_rng(11))
+        save_fsm(tmp_path / "fsm.json", fsm)
+        loaded = load_fsm(tmp_path / "fsm.json")
+        current = current_loaded = fsm.initial_state
+        for (source, observation) in list(fsm.transitions)[:10]:
+            current, action = fsm.step(current, observation)
+            current_loaded, action_loaded = loaded.step(current_loaded, observation)
+            assert (current, action) == (current_loaded, action_loaded)
+
+    def test_invalid_machine_refuses_to_save(self, tmp_path):
+        fsm = build_machine(np.random.default_rng(5))
+        fsm.initial_state = (9, 9, 9, 9, 9)
+        with pytest.raises(Exception):
+            save_fsm(tmp_path / "bad.json", fsm)
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        fsm = build_machine(np.random.default_rng(2))
+        path = tmp_path / "fsm.json"
+        save_fsm(path, fsm)
+        text = path.read_text().replace('"format_version": 1', '"format_version": 99')
+        path.write_text(text)
+        with pytest.raises(SerializationError):
+            load_fsm(path)
+
+
+class TestSharedFallbackResolution:
+    """The matcher and the batched helper are one resolution path."""
+
+    def test_match_routes_through_shared_helper(self):
+        rng = np.random.default_rng(0)
+        prototypes = {
+            tuple(int(c) for c in rng.integers(0, 3, size=4)): rng.normal(size=9)
+            for _ in range(12)
+        }
+        matcher = NearestObservationMatcher(prototypes)
+        matrix = np.stack([np.asarray(v, float) for v in prototypes.values()])
+        keys = list(prototypes.keys())
+        queries = rng.normal(size=(40, 9))
+        batched = nearest_prototype_rows(matrix, queries)
+        for i, query in enumerate(queries):
+            assert matcher.match(query) == keys[int(batched[i])]
+            assert matcher.match_index(query) == int(batched[i])
+
+    def test_batched_rows_match_scalar_rows_bitwise(self):
+        """Row i of a batched resolve equals resolving row i alone."""
+        rng = np.random.default_rng(42)
+        matrix = rng.normal(size=(17, 35))
+        queries = rng.normal(size=(64, 35))
+        batched = nearest_prototype_rows(matrix, queries)
+        single = np.array(
+            [nearest_prototype_rows(matrix, q[None, :])[0] for q in queries]
+        )
+        assert np.array_equal(batched, single)
+
+    def test_cosine_metric_matches_scalar_loop(self):
+        rng = np.random.default_rng(1)
+        prototypes = {
+            (0, i): rng.normal(size=5) for i in range(6)
+        }
+        matcher = NearestObservationMatcher(prototypes, metric="cosine")
+        keys = list(prototypes.keys())
+        matrix = np.stack(list(prototypes.values()))
+        for query in rng.normal(size=(10, 5)):
+            row = nearest_prototype_rows(matrix, query[None, :], "cosine")[0]
+            assert matcher.match(query) == keys[int(row)]
+
+    def test_tie_breaks_to_first_prototype(self):
+        matrix = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 5.0]])
+        rows = nearest_prototype_rows(matrix, np.array([[1.0, 0.0]]))
+        assert rows[0] == 0

@@ -1,0 +1,400 @@
+"""Unit tests for the policy serving subsystem (sessions, server, shadow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.greedy import GreedyUtilizationPolicy
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.errors import ConfigurationError
+from repro.fsm.machine import FiniteStateMachine
+from repro.qbn.autoencoder import build_observation_qbn
+from repro.qbn.quantize import code_key
+from repro.serving import (
+    CompiledFSMBackend,
+    CompiledFSMPolicy,
+    GRUPolicyBackend,
+    HeuristicAgentBackend,
+    PolicyServer,
+    SessionTable,
+    ShadowEvaluator,
+)
+from repro.storage.migration import NUM_ACTIONS, MigrationAction
+from repro.storage.simulator import StorageSystemConfig
+from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+
+
+# ----------------------------------------------------------------------
+# Shared small artefacts
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_env():
+    return StorageAllocationEnv(
+        StorageSystemConfig(), reward_config=RewardConfig(mode="per_step_penalty"), rng=0
+    )
+
+
+@pytest.fixture(scope="module")
+def observation_stream(serving_env):
+    """Raw observation rows from one short simulated episode."""
+    generator = StandardWorkloadGenerator(
+        serving_env.system_config, GeneratorConfig(), rng=0
+    )
+    trace = generator.generate("web_server", duration=24)
+    rng = np.random.default_rng(9)
+    observation = serving_env.reset(trace)
+    rows = []
+    while True:
+        rows.append(observation.raw())
+        result = serving_env.step(MigrationAction(int(rng.integers(NUM_ACTIONS))))
+        observation = result.observation
+        if result.done:
+            break
+    return np.array(rows)
+
+
+@pytest.fixture(scope="module")
+def compiled_policy(serving_env, observation_stream):
+    """A compiled policy over a small handmade FSM with real prototypes."""
+    rng = np.random.default_rng(3)
+    qbn = build_observation_qbn(35, latent_dim=6, hidden_dim=16, rng=4)
+    fsm = FiniteStateMachine()
+    codes = []
+    while len(codes) < 4:
+        code = tuple(int(c) for c in rng.integers(0, 3, size=5))
+        if code not in fsm.states:
+            state = fsm.add_state(code, MigrationAction(int(rng.integers(NUM_ACTIONS))))
+            state.visit_count = int(rng.integers(20))
+            codes.append(code)
+    normalized = serving_env.observation_encoder.normalize_batch(observation_stream)
+    for vector in normalized[:5]:
+        key = code_key(qbn.discrete_code(vector))
+        if key not in fsm.observation_prototypes:
+            fsm.observation_prototypes[key] = np.asarray(vector, float)
+    observation_keys = list(fsm.observation_prototypes)
+    for _ in range(20):
+        fsm.add_transition(
+            codes[int(rng.integers(len(codes)))],
+            observation_keys[int(rng.integers(len(observation_keys)))],
+            codes[int(rng.integers(len(codes)))],
+        )
+    fsm.initial_state = codes[1]
+    fsm.validate()
+    return CompiledFSMPolicy.compile(fsm, qbn, encoder=serving_env.observation_encoder)
+
+
+# ----------------------------------------------------------------------
+# SessionTable
+# ----------------------------------------------------------------------
+class TestSessionTable:
+    def test_open_step_close_accounting(self):
+        table = SessionTable(capacity=4, hidden_size=3)
+        slots = table.open(3)
+        assert table.num_active == 3 and len(table) == 3
+        table.record_steps(slots)
+        table.record_steps(slots[:1])
+        assert table.steps[slots[0]] == 2 and table.steps[slots[2]] == 1
+        table.close(slots[:2])
+        assert table.num_active == 1
+        assert table.total_opened == 3 and table.total_closed == 2
+
+    def test_free_list_reuses_closed_slots(self):
+        table = SessionTable(capacity=4)
+        first = table.open(4)
+        table.close(first[1:3])
+        reused = table.open(2)
+        assert set(reused.tolist()) == set(first[1:3].tolist())
+        assert table.capacity == 4
+
+    def test_reused_slot_state_is_reset(self):
+        table = SessionTable(capacity=2, hidden_size=2)
+        slot = table.open(1)
+        table.state[slot] = 7
+        table.hidden[slot] = 1.5
+        table.record_steps(slot)
+        table.close(slot)
+        again = table.open(1)
+        assert again[0] == slot[0]
+        assert table.state[again[0]] == 0
+        assert np.all(table.hidden[again[0]] == 0.0)
+        assert table.steps[again[0]] == 0
+        assert table.generation[again[0]] == 1
+
+    def test_growth_preserves_existing_sessions(self):
+        table = SessionTable(capacity=2, hidden_size=2)
+        first = table.open(2)
+        table.state[first] = [5, 6]
+        table.hidden[first] = [[1.0, 2.0], [3.0, 4.0]]
+        more = table.open(100)
+        assert table.num_active == 102
+        assert table.capacity >= 102
+        assert table.state[first].tolist() == [5, 6]
+        assert table.hidden[first[1]].tolist() == [3.0, 4.0]
+        assert len(set(first.tolist()) & set(more.tolist())) == 0
+
+    def test_stepping_closed_slot_raises(self):
+        table = SessionTable(capacity=2)
+        slot = table.open(1)
+        table.close(slot)
+        with pytest.raises(ConfigurationError):
+            table.record_steps(slot)
+        with pytest.raises(ConfigurationError):
+            table.checked_slots(slot)
+
+    def test_out_of_range_slot_raises(self):
+        table = SessionTable(capacity=2)
+        with pytest.raises(ConfigurationError):
+            table.checked_slots([5])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            SessionTable(capacity=0)
+        with pytest.raises(ConfigurationError):
+            SessionTable(hidden_size=-1)
+
+
+# ----------------------------------------------------------------------
+# Compiled policy artifact
+# ----------------------------------------------------------------------
+class TestCompiledArtifact:
+    def test_save_load_roundtrip_decides_identically(
+        self, tmp_path, compiled_policy, serving_env, observation_stream
+    ):
+        path = tmp_path / "compiled.npz"
+        compiled_policy.save(path)
+        loaded = CompiledFSMPolicy.load(path)
+        assert loaded.num_states == compiled_policy.num_states
+        assert loaded.num_observations == compiled_policy.num_observations
+        assert loaded.start_state == compiled_policy.start_state
+        assert np.array_equal(loaded.transition_table, compiled_policy.transition_table)
+        normalized = serving_env.observation_encoder.normalize_batch(observation_stream)
+        states = np.full(len(normalized), compiled_policy.start_state, dtype=np.int64)
+        a = compiled_policy.act_batch(normalized, states)
+        b = loaded.act_batch(normalized, states)
+        assert np.array_equal(a.actions, b.actions)
+        assert np.array_equal(a.next_states, b.next_states)
+        assert np.array_equal(a.fallback_mask, b.fallback_mask)
+
+    def test_encoder_compatibility_stamp(self, compiled_policy, serving_env):
+        assert compiled_policy.matches_encoder(serving_env.observation_encoder)
+        from repro.env.observation import ObservationEncoder
+
+        other = ObservationEncoder(serving_env.system_config, nominal_requests=123.0)
+        assert not compiled_policy.matches_encoder(other)
+
+    def test_summary_counts_decisions_and_fallbacks(
+        self, tmp_path, compiled_policy, serving_env, observation_stream
+    ):
+        compiled_policy.save(tmp_path / "c.npz")
+        fresh = CompiledFSMPolicy.load(tmp_path / "c.npz")
+        normalized = serving_env.observation_encoder.normalize_batch(observation_stream)
+        states = np.full(len(normalized), fresh.start_state, dtype=np.int64)
+        decision = fresh.act_batch(normalized, states)
+        summary = fresh.summary()
+        assert summary["decisions"] == len(normalized)
+        assert summary["fallbacks"] == int(decision.fallback_mask.sum())
+
+
+# ----------------------------------------------------------------------
+# PolicyServer
+# ----------------------------------------------------------------------
+class TestPolicyServer:
+    def test_microbatch_auto_flush(self, compiled_policy, serving_env, observation_stream):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy),
+            serving_env.observation_encoder,
+            max_batch_size=4,
+            initial_capacity=8,
+        )
+        ids = server.open_sessions(4)
+        tickets = [
+            server.submit(int(session), observation_stream[i])
+            for i, session in enumerate(ids[:3])
+        ]
+        assert all(not t.done for t in tickets)
+        assert server.pending == 3
+        last = server.submit(int(ids[3]), observation_stream[3])
+        # Queue reached max_batch_size: everything flushed as one batch.
+        assert server.pending == 0
+        assert last.done and all(t.done for t in tickets)
+        assert isinstance(last.result(), MigrationAction)
+        stats = server.stats()
+        assert stats.decisions == 4 and stats.batches == 1 and stats.max_batch == 4
+
+    def test_unflushed_ticket_raises(self, compiled_policy, serving_env, observation_stream):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        session = server.open_session()
+        ticket = server.submit(session, observation_stream[0])
+        with pytest.raises(ConfigurationError):
+            ticket.result()
+        assert server.flush() == 1
+        ticket.result()
+
+    def test_second_submit_same_session_flushes_first(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy),
+            serving_env.observation_encoder,
+            max_batch_size=64,
+        )
+        session = server.open_session()
+        first = server.submit(session, observation_stream[0])
+        second = server.submit(session, observation_stream[1])
+        assert first.done and not second.done
+        server.flush()
+        assert second.done
+
+    def test_queued_and_direct_paths_agree(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        encoder = serving_env.observation_encoder
+        queued = PolicyServer(CompiledFSMBackend(compiled_policy), encoder)
+        direct = PolicyServer(CompiledFSMBackend(compiled_policy), encoder)
+        q_ids = queued.open_sessions(3)
+        d_ids = direct.open_sessions(3)
+        for step in range(4):
+            tickets = [
+                queued.submit(int(session), observation_stream[step])
+                for session in q_ids
+            ]
+            queued.flush()
+            actions = direct.decide_now(
+                d_ids, np.tile(observation_stream[step], (3, 1))
+            )
+            assert [int(t.result()) for t in tickets] == actions.tolist()
+
+    def test_decide_now_rejects_duplicate_sessions(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        session = server.open_session()
+        with pytest.raises(ConfigurationError):
+            server.decide_now(
+                [session, session], np.tile(observation_stream[0], (2, 1))
+            )
+
+    def test_mismatched_encoder_rejected_at_construction(
+        self, compiled_policy, serving_env
+    ):
+        """The artifact's encoder stamp is enforced when the server mounts it."""
+        from repro.env.observation import ObservationEncoder
+
+        other = ObservationEncoder(serving_env.system_config, nominal_requests=123.0)
+        with pytest.raises(ConfigurationError):
+            PolicyServer(CompiledFSMBackend(compiled_policy), other)
+        shadowed = ShadowEvaluator(
+            CompiledFSMBackend(compiled_policy), CompiledFSMBackend(compiled_policy)
+        )
+        with pytest.raises(ConfigurationError):
+            PolicyServer(shadowed, other)
+
+    def test_heuristic_backend_releases_closed_session_agents(
+        self, serving_env, observation_stream
+    ):
+        encoder = serving_env.observation_encoder
+        backend = HeuristicAgentBackend(GreedyUtilizationPolicy, encoder)
+        server = PolicyServer(backend, encoder)
+        ids = server.open_sessions(4)
+        server.decide_now(ids, np.tile(observation_stream[0], (4, 1)))
+        assert len(backend._agents) == 4
+        server.close_sessions(ids[:3])
+        assert len(backend._agents) == 1
+
+    def test_closed_session_rejected(self, compiled_policy, serving_env, observation_stream):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        session = server.open_session()
+        server.close_sessions([session])
+        with pytest.raises(ConfigurationError):
+            server.submit(session, observation_stream[0])
+
+    def test_gru_backend_matches_drl_agent(self, serving_env, observation_stream):
+        """The GRU serving backend replays DRLPolicyAgent's greedy stream."""
+        from repro.drl.agent import DRLPolicyAgent
+
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=5)
+        server = PolicyServer(GRUPolicyBackend(policy), serving_env.observation_encoder)
+        ids = server.open_sessions(2)
+        reference = DRLPolicyAgent(policy, serving_env.observation_encoder)
+        reference.reset()
+        for raw in observation_stream[:8]:
+            expected = int(reference.act(serving_env.observation_encoder.split_raw(raw)))
+            served = server.decide_now(ids, np.tile(raw, (2, 1)))
+            assert served.tolist() == [expected, expected]
+
+    def test_heuristic_backend_matches_scalar_agent(self, serving_env, observation_stream):
+        encoder = serving_env.observation_encoder
+        server = PolicyServer(
+            HeuristicAgentBackend(GreedyUtilizationPolicy, encoder), encoder
+        )
+        ids = server.open_sessions(2)
+        reference = GreedyUtilizationPolicy()
+        reference.reset()
+        for raw in observation_stream[:6]:
+            expected = int(reference.act(encoder.split_raw(raw)))
+            served = server.decide_now(ids, np.tile(raw, (2, 1)))
+            assert served.tolist() == [expected, expected]
+
+
+# ----------------------------------------------------------------------
+# ShadowEvaluator
+# ----------------------------------------------------------------------
+class TestShadowEvaluator:
+    def test_identical_backends_have_perfect_fidelity(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        shadowed = ShadowEvaluator(
+            CompiledFSMBackend(compiled_policy), CompiledFSMBackend(compiled_policy)
+        )
+        server = PolicyServer(shadowed, serving_env.observation_encoder)
+        ids = server.open_sessions(5)
+        for raw in observation_stream[:6]:
+            server.decide_now(ids, np.tile(raw, (5, 1)))
+        assert shadowed.decisions == 30
+        assert shadowed.divergences == 0
+        assert shadowed.fidelity == 1.0
+        assert shadowed.divergence_pairs() == {}
+        assert np.trace(shadowed.confusion) == 30
+
+    def test_primary_answer_served_divergence_counted(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=5)
+        primary = CompiledFSMBackend(compiled_policy)
+        shadowed = ShadowEvaluator(primary, GRUPolicyBackend(policy))
+        server = PolicyServer(shadowed, serving_env.observation_encoder)
+        unshadowed = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        ids = server.open_sessions(3)
+        plain_ids = unshadowed.open_sessions(3)
+        for raw in observation_stream[:6]:
+            batch = np.tile(raw, (3, 1))
+            assert np.array_equal(
+                server.decide_now(ids, batch), unshadowed.decide_now(plain_ids, batch)
+            )
+        summary = shadowed.summary()
+        assert summary["decisions"] == 18
+        assert shadowed.confusion.sum() == 18
+        assert 0.0 <= summary["fidelity"] <= 1.0
+        assert summary["divergences"] == sum(shadowed.divergence_pairs().values())
+
+    def test_shadow_table_grows_with_primary(self, compiled_policy, serving_env, observation_stream):
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=5)
+        shadowed = ShadowEvaluator(CompiledFSMBackend(compiled_policy), GRUPolicyBackend(policy))
+        server = PolicyServer(
+            shadowed, serving_env.observation_encoder, initial_capacity=2
+        )
+        ids = server.open_sessions(40)
+        actions = server.decide_now(ids, np.tile(observation_stream[0], (40, 1)))
+        assert actions.shape == (40,)
+        assert shadowed._shadow_table.capacity >= 40

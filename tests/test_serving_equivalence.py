@@ -1,0 +1,293 @@
+"""Differential equivalence: compiled serving fast path vs interpreted FSM agent.
+
+The property the serving subsystem stands on: for any machine and any
+observation stream, ``CompiledFSMPolicy.act_batch`` over a batch of
+concurrent sessions is **bit-identical** to stepping one
+:class:`FSMPolicyAgent` per session — same actions, same state
+trajectories, same unseen-observation fallbacks — regardless of batch
+composition, session interleaving or slot reuse.  Exercised across
+seeded random machines (known codes, fallback codes, transition-only
+codes, missing start states) and observation streams from *all* standard
+workload profiles, plus the real artefacts of an extracted pipeline run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.fsm.agent import FSMPolicyAgent
+from repro.fsm.generalize import NearestObservationMatcher
+from repro.fsm.machine import FiniteStateMachine
+from repro.fsm.serialize import load_fsm, save_fsm
+from repro.qbn.autoencoder import QuantizedBottleneckNetwork, build_observation_qbn
+from repro.qbn.quantize import code_key
+from repro.serving import CompiledFSMBackend, CompiledFSMPolicy, PolicyServer
+from repro.storage.migration import NUM_ACTIONS, MigrationAction
+from repro.storage.simulator import StorageSystemConfig
+from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+from repro.workloads.profiles import profile_names
+
+OBS_LATENT = 6
+STATE_CODE_LEN = 5
+
+
+@pytest.fixture(scope="module")
+def profile_streams() -> Dict[str, np.ndarray]:
+    """One short raw-observation stream per standard workload profile."""
+    system = StorageSystemConfig()
+    generator = StandardWorkloadGenerator(system, GeneratorConfig(), rng=0)
+    rng = np.random.default_rng(17)
+    streams: Dict[str, np.ndarray] = {}
+    for name in profile_names():
+        env = StorageAllocationEnv(
+            system, reward_config=RewardConfig(mode="per_step_penalty"), rng=1
+        )
+        observation = env.reset(generator.generate(name, duration=14))
+        rows = []
+        while True:
+            rows.append(observation.raw())
+            result = env.step(MigrationAction(int(rng.integers(NUM_ACTIONS))))
+            observation = result.observation
+            if result.done:
+                break
+        streams[name] = np.array(rows)
+    return streams
+
+
+@pytest.fixture(scope="module")
+def shared_encoder():
+    return StorageAllocationEnv(StorageSystemConfig()).observation_encoder
+
+
+def make_random_machine(
+    seed: int,
+    qbn: QuantizedBottleneckNetwork,
+    known_vectors: np.ndarray,
+    with_prototypes: bool = True,
+) -> FiniteStateMachine:
+    """A seeded random FSM mixing known, fallback-only and transition-only codes."""
+    rng = np.random.default_rng(seed)
+    fsm = FiniteStateMachine()
+    codes: List[Tuple[int, ...]] = []
+    while len(codes) < 2 + int(rng.integers(6)):
+        code = tuple(int(c) for c in rng.integers(0, 3, size=STATE_CODE_LEN))
+        if code not in fsm.states:
+            state = fsm.add_state(code, MigrationAction(int(rng.integers(NUM_ACTIONS))))
+            # Deliberately collision-heavy visit counts so the
+            # most-visited start-state fallback exercises its tie-break.
+            state.visit_count = int(rng.integers(3))
+            codes.append(code)
+
+    observation_keys: List[Tuple[int, ...]] = []
+    if with_prototypes:
+        # Known codes: quantisations of real stream vectors, prototyped by
+        # the vector itself (so serve-time codes actually hit them).
+        for index in rng.choice(len(known_vectors), size=4, replace=False):
+            vector = known_vectors[int(index)]
+            key = code_key(qbn.discrete_code(vector))
+            if key not in fsm.observation_prototypes:
+                fsm.observation_prototypes[key] = np.asarray(vector, float)
+                observation_keys.append(key)
+        # Fallback-only prototypes: random codes that serve-time
+        # observations will (almost) never quantise to.
+        for _ in range(3):
+            key = tuple(int(c) for c in rng.integers(0, 3, size=OBS_LATENT))
+            if key not in fsm.observation_prototypes:
+                fsm.observation_prototypes[key] = rng.normal(size=known_vectors.shape[1])
+                observation_keys.append(key)
+    # Transition-only codes (never prototyped): with a matcher these are
+    # *unseen* — both paths must redirect them identically.
+    for _ in range(2):
+        key = tuple(int(c) for c in rng.integers(0, 3, size=OBS_LATENT))
+        if key not in observation_keys:
+            observation_keys.append(key)
+
+    for _ in range(30):
+        fsm.add_transition(
+            codes[int(rng.integers(len(codes)))],
+            observation_keys[int(rng.integers(len(observation_keys)))],
+            codes[int(rng.integers(len(codes)))],
+        )
+    if rng.random() < 0.5:
+        fsm.initial_state = codes[int(rng.integers(len(codes)))]
+    fsm.validate()
+    return fsm
+
+
+def make_agent(
+    fsm: FiniteStateMachine, qbn: QuantizedBottleneckNetwork, encoder
+) -> FSMPolicyAgent:
+    matcher: Optional[NearestObservationMatcher] = None
+    if fsm.observation_prototypes:
+        matcher = NearestObservationMatcher(
+            fsm.observation_prototypes,
+            encoder=lambda vector: code_key(qbn.discrete_code(vector)),
+        )
+    agent = FSMPolicyAgent(fsm, qbn, encoder, matcher=matcher)
+    agent.reset()
+    return agent
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lockstep_batch_matches_per_session_agents(
+        self, seed, profile_streams, shared_encoder
+    ):
+        """One session per workload profile, stepped as one batch."""
+        names = profile_names()
+        sample = np.concatenate(
+            [shared_encoder.normalize_batch(profile_streams[n][:4]) for n in names]
+        )
+        qbn = build_observation_qbn(35, latent_dim=OBS_LATENT, hidden_dim=16, rng=seed)
+        fsm = make_random_machine(
+            1000 + seed, qbn, sample, with_prototypes=(seed % 3 != 2)
+        )
+        compiled = CompiledFSMPolicy.compile(fsm, qbn, encoder=shared_encoder)
+        agents = {name: make_agent(fsm, qbn, shared_encoder) for name in names}
+
+        length = min(len(profile_streams[n]) for n in names)
+        states = np.full(len(names), compiled.start_state, dtype=np.int64)
+        for step in range(length):
+            raw = np.stack([profile_streams[name][step] for name in names])
+            decision = compiled.act_batch(shared_encoder.normalize_batch(raw), states)
+            states = decision.next_states
+            expected = [
+                int(agents[name].act(shared_encoder.split_raw(profile_streams[name][step])))
+                for name in names
+            ]
+            assert decision.actions.tolist() == expected, (seed, step)
+        # State trajectories ended identically too (same rows = same codes).
+        for column, name in enumerate(names):
+            agent_state = agents[name]._state
+            compiled_code = tuple(
+                int(c) for c in compiled.state_codes[int(states[column])]
+            )
+            assert compiled_code == agent_state, (seed, name)
+        # Fallback accounting agrees with the agents' unseen counters.
+        assert compiled.fallback_count == sum(
+            agents[name].unseen_observation_count for name in names
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_interleaved_sessions_with_slot_reuse(
+        self, seed, profile_streams, shared_encoder
+    ):
+        """Random interleaving, closes and reopens through a PolicyServer."""
+        names = profile_names()
+        driver = np.random.default_rng(500 + seed)
+        sample = np.concatenate(
+            [shared_encoder.normalize_batch(profile_streams[n][:3]) for n in names]
+        )
+        qbn = build_observation_qbn(35, latent_dim=OBS_LATENT, hidden_dim=16, rng=90 + seed)
+        fsm = make_random_machine(2000 + seed, qbn, sample)
+        compiled = CompiledFSMPolicy.compile(fsm, qbn, encoder=shared_encoder)
+        server = PolicyServer(
+            CompiledFSMBackend(compiled),
+            shared_encoder,
+            initial_capacity=4,  # force growth mid-run
+        )
+
+        # session id -> (profile, stream position, reference agent, actions)
+        live: Dict[int, list] = {}
+
+        def open_one(profile: str) -> None:
+            session = server.open_session()
+            assert session not in live
+            live[session] = [profile, 0, make_agent(fsm, qbn, shared_encoder), [], []]
+
+        for name in names:
+            open_one(name)
+        for _ in range(40):
+            ids = sorted(live)
+            chosen = [s for s in ids if driver.random() < 0.7] or ids[:1]
+            raw = np.stack(
+                [profile_streams[live[s][0]][live[s][1]] for s in chosen]
+            )
+            actions = server.decide_now(chosen, raw)
+            for row, session in enumerate(chosen):
+                profile, position, agent, served, expected = live[session]
+                observation = shared_encoder.split_raw(
+                    profile_streams[profile][position]
+                )
+                expected.append(int(agent.act(observation)))
+                served.append(int(actions[row]))
+                live[session][1] = (position + 1) % len(profile_streams[profile])
+            # Occasionally retire a session and start a fresh one on a
+            # random profile — the reused slot must behave like a brand
+            # new machine, not inherit the dead session's state.
+            if driver.random() < 0.4:
+                victim = int(driver.choice(sorted(live)))
+                profile, _pos, _agent, served, expected = live.pop(victim)
+                assert served == expected, (seed, profile)
+                server.close_sessions([victim])
+                open_one(str(driver.choice(names)))
+        for session, (profile, _pos, _agent, served, expected) in live.items():
+            assert served == expected, (seed, profile)
+
+    def test_equivalence_survives_fsm_save_load(self, profile_streams, shared_encoder, tmp_path):
+        """compile(load(save(fsm))) serves exactly like compile(fsm)."""
+        names = profile_names()
+        sample = np.concatenate(
+            [shared_encoder.normalize_batch(profile_streams[n][:3]) for n in names]
+        )
+        qbn = build_observation_qbn(35, latent_dim=OBS_LATENT, hidden_dim=16, rng=77)
+        fsm = make_random_machine(3000, qbn, sample)
+        save_fsm(tmp_path / "fsm.json", fsm)
+        original = CompiledFSMPolicy.compile(fsm, qbn, encoder=shared_encoder)
+        reloaded = CompiledFSMPolicy.compile(
+            load_fsm(tmp_path / "fsm.json"), qbn, encoder=shared_encoder
+        )
+        states = np.full(len(names), original.start_state, dtype=np.int64)
+        states_r = states.copy()
+        for step in range(10):
+            raw = np.stack(
+                [profile_streams[n][step % len(profile_streams[n])] for n in names]
+            )
+            normalized = shared_encoder.normalize_batch(raw)
+            a = original.act_batch(normalized, states)
+            b = reloaded.act_batch(normalized, states_r)
+            states, states_r = a.next_states, b.next_states
+            assert np.array_equal(a.actions, b.actions)
+            assert np.array_equal(a.next_states, b.next_states)
+
+    def test_extracted_pipeline_artifacts_serve_identically(
+        self, tiny_pipeline_result, env
+    ):
+        """The real thing: a trained run's FSM, compiled, vs its fsm_agent."""
+        result = tiny_pipeline_result
+        compiled = result.compiled_fsm_policy(env)
+        eval_traces = result.eval_traces
+        encoder = env.observation_encoder
+
+        streams = []
+        rng = np.random.default_rng(5)
+        for trace in eval_traces:
+            observation = env.reset(trace)
+            rows = []
+            while True:
+                rows.append(observation.raw())
+                step = env.step(MigrationAction(int(rng.integers(NUM_ACTIONS))))
+                observation = step.observation
+                if step.done:
+                    break
+            streams.append(np.array(rows))
+
+        agents = [result.fsm_agent(env) for _ in streams]
+        for agent in agents:
+            agent.reset()
+        length = min(len(s) for s in streams)
+        states = np.full(len(streams), compiled.start_state, dtype=np.int64)
+        for step in range(length):
+            raw = np.stack([stream[step] for stream in streams])
+            decision = compiled.act_batch(encoder.normalize_batch(raw), states)
+            states = decision.next_states
+            expected = [
+                int(agents[i].act(encoder.split_raw(streams[i][step])))
+                for i in range(len(streams))
+            ]
+            assert decision.actions.tolist() == expected
