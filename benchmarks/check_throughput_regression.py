@@ -60,6 +60,22 @@ def _rates(payload: dict) -> tuple:
     )
 
 
+def _config_stamp(payload: dict) -> tuple:
+    """(kernel, rng_family) stamps from a benchmark JSON.
+
+    Results recorded before the stamps existed (PR 4 and earlier) were
+    all measured with the pure-numpy kernel and legacy rng streams, so
+    missing keys default to ``("numpy", "legacy")``.
+    """
+    record = payload
+    if "batched_steps_per_s" not in payload and "after" in payload:
+        record = payload["after"].get("pytest_capture", payload)
+    return (
+        str(record.get("kernel", payload.get("kernel", "numpy"))),
+        str(record.get("rng_family", payload.get("rng_family", "legacy"))),
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True, type=Path,
@@ -73,10 +89,20 @@ def main(argv=None) -> int:
         help="maximum tolerated fractional regression (default 0.30, "
              "env BENCH_REGRESSION_THRESHOLD)",
     )
+    parser.add_argument(
+        "--kernel", default=None,
+        help="assert the current run was measured with this inference "
+             "kernel (numpy|native)")
+    parser.add_argument(
+        "--rng-family", default=None,
+        help="assert the current run was measured with this rng stream "
+             "family (legacy|philox)")
     args = parser.parse_args(argv)
 
-    base_batch, base_sequential, base_batched = _rates(_load(args.baseline))
-    current_batch, current_sequential, current_batched = _rates(_load(args.current))
+    base_payload = _load(args.baseline)
+    current_payload = _load(args.current)
+    base_batch, base_sequential, base_batched = _rates(base_payload)
+    current_batch, current_sequential, current_batched = _rates(current_payload)
     if min(base_sequential, base_batched, current_sequential, current_batched) <= 0:
         raise SystemExit("benchmark rates must be positive")
     if base_batch is not None and current_batch is not None and base_batch != current_batch:
@@ -86,6 +112,31 @@ def main(argv=None) -> int:
             f"batch size mismatch: current run used B={current_batch} but the "
             f"baseline was recorded at B={base_batch}; rerun the benchmark with "
             f"ROLLOUT_BENCH_BATCH={base_batch} (or switch baselines)"
+        )
+    base_config = _config_stamp(base_payload)
+    current_config = _config_stamp(current_payload)
+    if args.kernel is not None and current_config[0] != args.kernel:
+        raise SystemExit(
+            f"kernel mismatch: expected the current run to use "
+            f"kernel={args.kernel!r} but it was recorded with "
+            f"kernel={current_config[0]!r}"
+        )
+    if args.rng_family is not None and current_config[1] != args.rng_family:
+        raise SystemExit(
+            f"rng family mismatch: expected the current run to use "
+            f"rng_family={args.rng_family!r} but it was recorded with "
+            f"rng_family={current_config[1]!r}"
+        )
+    if base_config != current_config:
+        # A native-kernel run beating a numpy baseline (or vice versa)
+        # is a configuration change, not a perf signal; only same-config
+        # runs are comparable.
+        raise SystemExit(
+            f"configuration mismatch: current run was measured with "
+            f"(kernel, rng_family)={current_config} but the baseline was "
+            f"recorded with {base_config}; rerun with "
+            f"ROLLOUT_BENCH_KERNEL={base_config[0]} "
+            f"ROLLOUT_BENCH_RNG_FAMILY={base_config[1]} (or switch baselines)"
         )
 
     calibration = base_sequential / current_sequential

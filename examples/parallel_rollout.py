@@ -41,6 +41,18 @@ def main() -> None:
         help="number of collection epochs (persistent pools amortise "
              "their spawn cost across epochs)",
     )
+    parser.add_argument(
+        "--kernel", choices=("numpy", "native"), default="numpy",
+        help="GRU inference kernel (native = fused C micro-kernel, "
+             "compiled on first use; falls back to numpy without a "
+             "compiler)",
+    )
+    parser.add_argument(
+        "--rng-family", choices=("legacy", "philox"), default="legacy",
+        help="episode rng stream family (philox = counter-based, "
+             "vectorized across the batch; a different stream family, "
+             "but still bit-identical across collection modes)",
+    )
     args = parser.parse_args()
 
     system = StorageSystemConfig()
@@ -48,11 +60,15 @@ def main() -> None:
     standard = generator.generate_suite(duration=args.duration, rng=args.seed + 1)
     sampler = RealTraceSampler(standard, rng=args.seed + 2)
     traces = sampler.sample_many(args.episodes, rng=args.seed + 3)
-    policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=32), rng=args.seed)
+    policy = RecurrentPolicyValueNet(
+        PolicyConfig(hidden_size=32, kernel=args.kernel), rng=args.seed
+    )
     base_seed = 1234
 
     start = time.perf_counter()
-    episode_rngs, action_rngs = derive_episode_streams(base_seed, len(traces))
+    episode_rngs, action_rngs = derive_episode_streams(
+        base_seed, len(traces), args.rng_family
+    )
     batched = BatchedRolloutCollector(VectorStorageAllocationEnv(system)).collect_batch(
         policy, traces, episode_rngs=episode_rngs, action_rngs=action_rngs
     )
@@ -63,8 +79,12 @@ def main() -> None:
         system, num_workers=args.workers, persistent=args.persistent
     ) as collector:
         for _ in range(max(0, args.epochs - 1)):
-            collector.collect(policy, traces, base_seed=base_seed)
-        parallel = collector.collect(policy, traces, base_seed=base_seed)
+            collector.collect(
+                policy, traces, base_seed=base_seed, rng_family=args.rng_family
+            )
+        parallel = collector.collect(
+            policy, traces, base_seed=base_seed, rng_family=args.rng_family
+        )
     parallel_s = (time.perf_counter() - start) / max(1, args.epochs)
 
     for reference, sharded in zip(batched, parallel):
@@ -75,7 +95,8 @@ def main() -> None:
         np.testing.assert_array_equal(reference.rewards(), sharded.rewards())
 
     steps = sum(len(t) for t in batched)
-    print(f"{len(traces)} episodes, {steps} environment steps")
+    print(f"{len(traces)} episodes, {steps} environment steps "
+          f"(kernel={args.kernel}, rng_family={args.rng_family})")
     print(f"lockstep batch (1 process):   {batched_s:.2f}s "
           f"({steps / batched_s:.0f} steps/s)")
     mode = "persistent pool" if args.persistent else "fork per epoch"

@@ -15,10 +15,14 @@ comparison and the serving-time fidelity counters at the end.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import time
 
 import numpy as np
 
+from repro.drl.policy import RecurrentPolicyValueNet
+from repro.drl.rollout import BatchedRolloutCollector
+from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.pipeline.experiments import small_pipeline_config
 from repro.pipeline.learning_aided import LearningAidedPipeline
 from repro.serving import (
@@ -39,9 +43,20 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--artifact", type=str, default=None,
                         help="also save the compiled artifact to this path")
+    parser.add_argument(
+        "--kernel", choices=("numpy", "native"), default="numpy",
+        help="GRU inference kernel for the shadow backend and the "
+             "rollout demo (native = fused C micro-kernel; falls back "
+             "to numpy without a compiler)",
+    )
+    parser.add_argument(
+        "--rng-family", choices=("legacy", "philox"), default="legacy",
+        help="rng stream family for the rollout-through-the-backend "
+             "demo (philox = counter-based, vectorized across the batch)",
+    )
     args = parser.parse_args()
 
-    print("1/3  training + extracting (scaled-down pipeline)...")
+    print("1/4  training + extracting (scaled-down pipeline)...")
     config = small_pipeline_config(
         seed=args.seed, num_real_traces=12, num_eval_traces=6
     )
@@ -49,7 +64,7 @@ def main() -> None:
     result = pipeline.run()
     env = pipeline.make_env()
 
-    print("2/3  compiling the FSM into the serving fast path...")
+    print("2/4  compiling the FSM into the serving fast path...")
     compiled = result.compiled_fsm_policy(env)
     print(f"     {compiled.num_states} states x {compiled.num_observations} "
           f"observation codes ({compiled.num_prototypes} prototypes)")
@@ -57,11 +72,18 @@ def main() -> None:
         compiled.save(args.artifact)
         print(f"     artifact saved to {args.artifact}")
 
-    print(f"3/3  serving {args.sessions} concurrent sessions, "
-          f"{args.rounds} rounds (GRU in shadow mode)...")
-    shadow = ShadowEvaluator(
-        CompiledFSMBackend(compiled), GRUPolicyBackend(result.policy)
-    )
+    serving_policy = result.policy
+    if args.kernel != serving_policy.config.kernel:
+        serving_policy = RecurrentPolicyValueNet(
+            dataclasses.replace(serving_policy.config, kernel=args.kernel)
+        )
+        serving_policy.load_state_dict(result.policy.state_dict())
+    gru_backend = GRUPolicyBackend(serving_policy)
+
+    print(f"3/4  serving {args.sessions} concurrent sessions, "
+          f"{args.rounds} rounds (GRU in shadow mode, "
+          f"kernel={args.kernel})...")
+    shadow = ShadowEvaluator(CompiledFSMBackend(compiled), gru_backend)
     server = PolicyServer(
         shadow, env.observation_encoder, initial_capacity=args.sessions
     )
@@ -92,6 +114,27 @@ def main() -> None:
           f"({fidelity['divergences']}/{fidelity['decisions']} divergences)")
     if fidelity["divergence_pairs"]:
         print(f"divergence pairs: {fidelity['divergence_pairs']}")
+
+    # The serving backend doubles as the rollout inference engine: the
+    # batched collector drives the exact same GRUPolicyBackend it would
+    # serve with, so rollout collection and online serving share one
+    # code path (and one kernel).
+    print(f"\n4/4  batched rollout through the serving backend "
+          f"(kernel={args.kernel}, rng_family={args.rng_family})...")
+    collector = BatchedRolloutCollector(
+        VectorStorageAllocationEnv(config.system, config.reward)
+    )
+    start = time.perf_counter()
+    trajectories = collector.collect_many(
+        gru_backend,
+        result.eval_traces,
+        base_seed=args.seed,
+        rng_family=args.rng_family,
+    )
+    elapsed = time.perf_counter() - start
+    steps = sum(len(t) for t in trajectories)
+    print(f"collected {len(trajectories)} episodes, {steps} steps in "
+          f"{elapsed:.3f}s ({steps / elapsed:,.0f} steps/s)")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import TrainingError
 from repro.storage.simulator import StorageSystemConfig
 from repro.storage.workload import WorkloadTrace
+from repro.utils.rng import PhiloxStreams
 
 
 def shard_indices(count: int, num_shards: int) -> List[List[int]]:
@@ -70,6 +71,7 @@ class _ShardJob:
     total_episodes: int
     epsilon: float
     greedy: bool
+    rng_family: str = "legacy"
 
 
 def _collect_shard(job: _ShardJob):
@@ -83,8 +85,17 @@ def _collect_shard(job: _ShardJob):
         policy = RecurrentPolicyValueNet(job.policy_config)
         policy.load_state_dict(job.policy_state)
         episode_rngs, action_rngs = derive_episode_streams(
-            job.base_seed, job.total_episodes
+            job.base_seed, job.total_episodes, job.rng_family
         )
+        indices = list(job.indices)
+        if isinstance(episode_rngs, PhiloxStreams):
+            # Lane selection keeps global episode ids, so a shard's
+            # streams are identical to the full batch's lanes.
+            episode_shard = episode_rngs.select(indices)
+            action_shard = action_rngs.select(indices)
+        else:
+            episode_shard = [episode_rngs[i] for i in indices]
+            action_shard = [action_rngs[i] for i in indices]
         vector_env = VectorStorageAllocationEnv(job.system_config, job.reward_config)
         collector = BatchedRolloutCollector(vector_env)
         trajectories = collector.collect_batch(
@@ -92,8 +103,8 @@ def _collect_shard(job: _ShardJob):
             list(job.traces),
             epsilon=job.epsilon,
             greedy=job.greedy,
-            episode_rngs=[episode_rngs[i] for i in job.indices],
-            action_rngs=[action_rngs[i] for i in job.indices],
+            episode_rngs=episode_shard,
+            action_rngs=action_shard,
         )
         return job.shard_id, trajectories, None
     except Exception:  # pragma: no cover - exercised via the failure test
@@ -174,6 +185,7 @@ class ParallelRolloutCollector:
         base_seed: int,
         epsilon: float,
         greedy: bool,
+        rng_family: str,
     ) -> List[_ShardJob]:
         total = len(traces)
         state = policy.state_dict()
@@ -192,6 +204,7 @@ class ParallelRolloutCollector:
                     total_episodes=total,
                     epsilon=float(epsilon),
                     greedy=bool(greedy),
+                    rng_family=str(rng_family),
                 )
             )
         return jobs
@@ -203,6 +216,7 @@ class ParallelRolloutCollector:
         base_seed: int,
         epsilon: float = 0.0,
         greedy: bool = False,
+        rng_family: str = "legacy",
     ) -> List[Trajectory]:
         """Collect one trajectory per trace, sharded across workers.
 
@@ -227,9 +241,14 @@ class ParallelRolloutCollector:
         in_daemonic_worker = multiprocessing.current_process().daemon
         if self.persistent and self.num_workers > 1 and not in_daemonic_worker:
             return self._persistent_pool().collect(
-                policy, traces, base_seed=base_seed, epsilon=epsilon, greedy=greedy
+                policy,
+                traces,
+                base_seed=base_seed,
+                epsilon=epsilon,
+                greedy=greedy,
+                rng_family=rng_family,
             )
-        jobs = self._make_jobs(policy, traces, base_seed, epsilon, greedy)
+        jobs = self._make_jobs(policy, traces, base_seed, epsilon, greedy, rng_family)
         if len(jobs) == 1 or self.num_workers == 1 or in_daemonic_worker:
             outcomes = [_collect_shard(job) for job in jobs]
         else:

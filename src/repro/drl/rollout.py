@@ -29,7 +29,13 @@ from repro.env.environment import StorageAllocationEnv
 from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import TrainingError
 from repro.storage.workload import WorkloadTrace
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import (
+    RNG_FAMILIES,
+    PhiloxStreams,
+    SeedLike,
+    derive_philox_streams,
+    new_rng,
+)
 
 
 @dataclass(frozen=True)
@@ -322,18 +328,35 @@ class TrajectoryBatch:
 
 
 def derive_episode_streams(
-    base_seed: int, count: int
-) -> Tuple[List[np.random.Generator], List[np.random.Generator]]:
+    base_seed: int, count: int, rng_family: str = "legacy"
+) -> Tuple[Sequence, Sequence]:
     """Per-episode (environment, action) rng stream pairs from one seed.
 
     Both collectors use this scheme, which is what makes a batched
     collection reproducible by running the sequential collector with the
-    same streams: episode ``i`` gets ``SeedSequence(base_seed).spawn(count)[i]``,
-    split once more into the simulator stream and the action-sampling
-    stream.
+    same streams.  Two stream families exist:
+
+    * ``"legacy"`` (default) — episode ``i`` gets
+      ``SeedSequence(base_seed).spawn(count)[i]``, split once more into
+      the simulator stream and the action-sampling stream.  Returns two
+      lists of ``np.random.Generator``.
+    * ``"philox"`` — counter-based :class:`~repro.utils.rng.PhiloxStreams`
+      keyed by ``(base_seed, episode, draw_index)``, whose per-episode
+      draws materialise in one vectorized call per decision point.
+      Returns two :class:`PhiloxStreams` (env, action); lane ``i`` is
+      the drop-in scalar stream for episode ``i``.
+
+    The two families produce *different* (both reproducible) episodes —
+    goldens are pinned per family.
     """
     if count <= 0:
         raise TrainingError(f"count must be positive, got {count}")
+    if rng_family not in RNG_FAMILIES:
+        raise TrainingError(
+            f"unknown rng_family {rng_family!r}, expected one of {RNG_FAMILIES}"
+        )
+    if rng_family == "philox":
+        return derive_philox_streams(base_seed, count)
     episode_rngs: List[np.random.Generator] = []
     action_rngs: List[np.random.Generator] = []
     for child in np.random.SeedSequence(base_seed).spawn(count):
@@ -443,13 +466,23 @@ class BatchedRolloutCollector:
         greedy: bool = False,
         episode_rngs: Optional[Sequence[SeedLike]] = None,
         action_rngs: Optional[Sequence[SeedLike]] = None,
+        rng_family: str = "legacy",
     ) -> List[Trajectory]:
         """Run one lockstep episode per trace and return the trajectories.
 
         When the rng streams are not supplied they are derived from this
-        collector's generator via :func:`derive_episode_streams`; pass
-        the same streams to :meth:`RolloutCollector.collect` to reproduce
-        any single slot bit-for-bit.
+        collector's generator via :func:`derive_episode_streams` (using
+        ``rng_family`` — pass ``"philox"`` for the counter-based family
+        whose per-decision draws are one vectorized call); pass the same
+        streams to :meth:`RolloutCollector.collect` to reproduce any
+        single slot bit-for-bit.
+
+        ``policy`` may be a bare :class:`RecurrentPolicyValueNet` or any
+        serving :class:`~repro.serving.server.DecisionBackend` that
+        implements ``act_rollout`` (e.g.
+        :class:`~repro.serving.server.GRUPolicyBackend`) — training
+        rollouts, evaluation and the decision server then share one
+        inference engine.
         """
         traces = list(traces)
         if not traces:
@@ -460,18 +493,31 @@ class BatchedRolloutCollector:
             # collector's generator so a seeded collector stays
             # deterministic even with partially supplied streams.
             base_seed = int(self._rng.integers(np.iinfo(np.int64).max))
-            derived_episode, derived_action = derive_episode_streams(base_seed, batch)
-            episode_rngs = derived_episode if episode_rngs is None else list(episode_rngs)
-            action_rngs = derived_action if action_rngs is None else list(action_rngs)
-        else:
+            derived_episode, derived_action = derive_episode_streams(
+                base_seed, batch, rng_family
+            )
+            episode_rngs = derived_episode if episode_rngs is None else episode_rngs
+            action_rngs = derived_action if action_rngs is None else action_rngs
+        if not isinstance(episode_rngs, PhiloxStreams):
             episode_rngs = list(episode_rngs)
-            action_rngs = list(action_rngs)
         if len(episode_rngs) != batch or len(action_rngs) != batch:
             raise TrainingError(
                 f"need one episode/action rng per trace, got {len(episode_rngs)}/"
                 f"{len(action_rngs)} for {batch} traces"
             )
-        action_rngs = GeneratorList(new_rng(r) for r in action_rngs)
+        if not isinstance(action_rngs, PhiloxStreams):
+            # Counter-based streams are consumed whole by act_batch (one
+            # vectorized draw per decision point); legacy generators are
+            # wrapped per lane.
+            action_rngs = GeneratorList(new_rng(r) for r in action_rngs)
+
+        if hasattr(policy, "act_rollout"):
+            backend = policy
+            policy = backend.policy
+        else:
+            from repro.serving.server import GRUPolicyBackend
+
+            backend = GRUPolicyBackend(policy)
 
         venv = self.vector_env
         normalized = venv.reset(traces, rngs=episode_rngs)
@@ -479,27 +525,33 @@ class BatchedRolloutCollector:
         hidden = policy.initial_state(batch).numpy()
         active = ~venv.dones
 
-        # Struct-of-arrays accumulation: per interval the fresh (B, ...)
-        # step arrays are appended whole; no per-slot python, no
-        # Transition objects.  Slot ``b`` is active on a contiguous step
-        # prefix, so its episode is the column slice ``[:length[b], b]``.
-        step_observations: List[np.ndarray] = []
-        step_raw: List[np.ndarray] = []
+        # Struct-of-arrays accumulation into preallocated (cap, B, ...)
+        # buffers: per interval the fresh (B, ...) step arrays are copied
+        # into row ``t``; no per-slot python, no Transition objects, no
+        # end-of-episode re-stacking.  Episodes can outlive their traces
+        # (the backlog drains after the last interval), so the buffers
+        # grow by doubling on the rare overflow.  Slot ``b`` is active on
+        # a contiguous step prefix, so its episode is the column slice
+        # ``[:length[b], b]``.
+        cap = 2 * max(len(trace) for trace in traces) + 16
+        counts0 = venv.core_counts()
+        observations_buf = np.empty((cap,) + normalized.shape)
+        raw_buf = np.empty((cap,) + raw.shape)
         # Hidden states are stored once per boundary, not twice per step:
         # a slot's hidden_after at step t is its hidden_before at t+1
         # (act_batch freezes finished slots' rows, and only the active
         # prefix of each slot is sliced out below).
-        step_hidden: List[np.ndarray] = []
-        step_actions: List[np.ndarray] = []
-        step_rewards: List[np.ndarray] = []
-        step_values: List[np.ndarray] = []
+        hidden_buf = np.empty((cap + 1,) + hidden.shape)
+        actions_buf = np.empty((cap, batch), dtype=np.int64)
+        rewards_buf = np.empty((cap, batch))
+        values_buf = np.empty((cap, batch))
         # Valid-action masks are a pure function of the pre-step core
         # counts for every *stored* row (a slot's rows only cover steps
         # where it was still active, so the finished-slot override of
         # ``valid_action_masks`` never reaches a trajectory), so the hot
         # loop stores one cheap counts snapshot per interval and the
         # masks are materialised in a single vectorized call afterwards.
-        step_counts: List[np.ndarray] = []
+        counts_buf = np.empty((cap,) + counts0.shape, dtype=counts0.dtype)
         makespans = np.zeros(batch, dtype=np.int64)
         truncated = np.zeros(batch, dtype=bool)
 
@@ -507,9 +559,23 @@ class BatchedRolloutCollector:
             # ``active=None`` takes act_batch's mask-free whole-batch
             # path; the mask is only materialised once slots finish.
             active = None
+        t = 0
         while active is None or active.any():
-            step_counts.append(venv.core_counts())
-            output = policy.act_batch(
+            if t == cap:
+                cap *= 2
+                grown = []
+                for buf in (
+                    observations_buf, raw_buf, hidden_buf, actions_buf,
+                    rewards_buf, values_buf, counts_buf,
+                ):
+                    rows = cap + 1 if buf is hidden_buf else cap
+                    wide = np.empty((rows,) + buf.shape[1:], dtype=buf.dtype)
+                    wide[: buf.shape[0]] = buf
+                    grown.append(wide)
+                (observations_buf, raw_buf, hidden_buf, actions_buf,
+                 rewards_buf, values_buf, counts_buf) = grown
+            counts_buf[t] = counts0 if t == 0 else venv.core_counts()
+            output = backend.act_rollout(
                 normalized,
                 hidden,
                 rngs=action_rngs,
@@ -518,12 +584,12 @@ class BatchedRolloutCollector:
                 active=active,
             )
             result = venv.step(output.actions)
-            step_observations.append(normalized)
-            step_raw.append(raw)
-            step_hidden.append(hidden)
-            step_actions.append(output.actions)
-            step_rewards.append(result.rewards)
-            step_values.append(output.values)
+            observations_buf[t] = normalized
+            raw_buf[t] = raw
+            hidden_buf[t] = hidden
+            actions_buf[t] = output.actions
+            rewards_buf[t] = result.rewards
+            values_buf[t] = output.values
             if result.newly_done.any():
                 finished = np.nonzero(result.newly_done)[0]
                 makespans[finished] = result.makespans[finished]
@@ -536,19 +602,20 @@ class BatchedRolloutCollector:
             raw = result.raw_observations
             dones = result.dones
             active = None if not dones.any() else ~dones
+            t += 1
         # A slot's stored-row count equals its makespan: steps_taken
         # advances exactly once per stored interval.
         lengths = makespans
 
-        step_hidden.append(hidden)
-        observations_stack = np.stack(step_observations)
-        raw_stack = np.stack(step_raw)
-        hidden_stack = np.stack(step_hidden)
-        actions_stack = np.stack(step_actions)
-        rewards_stack = np.stack(step_rewards)
-        values_stack = np.stack(step_values)
-        counts_stack = np.stack(step_counts)              # (T, B, levels)
-        horizon = counts_stack.shape[0]
+        hidden_buf[t] = hidden
+        observations_stack = observations_buf[:t]
+        raw_stack = raw_buf[:t]
+        hidden_stack = hidden_buf[: t + 1]
+        actions_stack = actions_buf[:t]
+        rewards_stack = rewards_buf[:t]
+        values_stack = values_buf[:t]
+        counts_stack = counts_buf[:t]                     # (T, B, levels)
+        horizon = t
         masks_stack = venv.action_space.valid_mask_batch_from_counts(
             counts_stack.reshape(horizon * batch, -1),
             venv.system_config.min_cores_per_level,
@@ -590,6 +657,7 @@ class BatchedRolloutCollector:
         greedy: bool = False,
         batch_size: Optional[int] = None,
         base_seed: Optional[int] = None,
+        rng_family: str = "legacy",
     ) -> List[Trajectory]:
         """Collect one trajectory per trace, ``batch_size`` episodes at a time.
 
@@ -604,7 +672,9 @@ class BatchedRolloutCollector:
         are bit-identical for every ``batch_size`` (and to a sequential
         or multi-process collection from the same seed).  Without it each
         chunk draws its own base seed from this collector's generator, so
-        results then depend on the chunking.
+        results then depend on the chunking.  ``rng_family`` selects the
+        stream family (chunk slicing of counter-based streams preserves
+        each episode's lane, so the invariance holds for both families).
         """
         traces = list(traces)
         if not traces:
@@ -613,7 +683,9 @@ class BatchedRolloutCollector:
         if chunk <= 0:
             raise TrainingError(f"batch_size must be positive, got {batch_size}")
         if base_seed is not None:
-            episode_rngs, action_rngs = derive_episode_streams(base_seed, len(traces))
+            episode_rngs, action_rngs = derive_episode_streams(
+                base_seed, len(traces), rng_family
+            )
         trajectories: List[Trajectory] = []
         for start in range(0, len(traces), chunk):
             stop = start + chunk
@@ -625,6 +697,7 @@ class BatchedRolloutCollector:
                     greedy=greedy,
                     episode_rngs=None if base_seed is None else episode_rngs[start:stop],
                     action_rngs=None if base_seed is None else action_rngs[start:stop],
+                    rng_family=rng_family,
                 )
             )
         return trajectories

@@ -50,6 +50,7 @@ from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import TrainingError
 from repro.storage.simulator import StorageSystemConfig
 from repro.storage.workload import WorkloadTrace
+from repro.utils.rng import PhiloxStreams
 
 #: Seconds between liveness checks while waiting for shard results.
 _RESULT_POLL_INTERVAL_S = 0.05
@@ -70,11 +71,12 @@ def _worker_main(
 
     * ``("weights", version, policy_config, changed_state)`` — create the
       resident policy on first receipt and overwrite exactly the changed
-      parameters (full arrays, so the update is bit-exact);
+      parameters (full arrays, so the update is bit-exact; applied via
+      ``Parameter.assign`` so resident packed-weight caches invalidate);
     * ``("collect", shard_id, indices, traces, base_seed, total,
-      epsilon, greedy, version)`` — run the shard's episodes in lockstep
-      and reply ``(shard_id, trajectories, None)`` (or ``(shard_id,
-      None, traceback_str)`` on failure);
+      epsilon, greedy, version, rng_family)`` — run the shard's episodes
+      in lockstep and reply ``(shard_id, trajectories, None)`` (or
+      ``(shard_id, None, traceback_str)`` on failure);
     * ``("shutdown",)`` — exit the loop.
     """
     policy: Optional[RecurrentPolicyValueNet] = None
@@ -93,13 +95,16 @@ def _worker_main(
                     policy = RecurrentPolicyValueNet(policy_config)
                 own = dict(policy.named_parameters())
                 for name, value in changed_state.items():
-                    own[name].data[...] = value
+                    own[name].assign(value)
                 weights_version = version
             except Exception:  # pragma: no cover - defensive
                 result_queue.put((None, None, traceback.format_exc()))
             continue
         if kind == "collect":
-            _, shard_id, indices, traces, base_seed, total, epsilon, greedy, version = message
+            (
+                _, shard_id, indices, traces, base_seed, total,
+                epsilon, greedy, version, rng_family,
+            ) = message
             try:
                 if policy is None:
                     raise TrainingError(
@@ -110,14 +115,22 @@ def _worker_main(
                         f"worker {worker_id} has weights v{weights_version} but the "
                         f"shard expects v{version}"
                     )
-                episode_rngs, action_rngs = derive_episode_streams(base_seed, total)
+                episode_rngs, action_rngs = derive_episode_streams(
+                    base_seed, total, rng_family
+                )
+                if isinstance(episode_rngs, PhiloxStreams):
+                    episode_shard = episode_rngs.select(list(indices))
+                    action_shard = action_rngs.select(list(indices))
+                else:
+                    episode_shard = [episode_rngs[i] for i in indices]
+                    action_shard = [action_rngs[i] for i in indices]
                 trajectories = collector.collect_batch(
                     policy,
                     list(traces),
                     epsilon=epsilon,
                     greedy=greedy,
-                    episode_rngs=[episode_rngs[i] for i in indices],
-                    action_rngs=[action_rngs[i] for i in indices],
+                    episode_rngs=episode_shard,
+                    action_rngs=action_shard,
                 )
                 result_queue.put((shard_id, trajectories, None))
             except Exception:
@@ -296,6 +309,7 @@ class PersistentWorkerPool:
         base_seed: int,
         epsilon: float = 0.0,
         greedy: bool = False,
+        rng_family: str = "legacy",
     ) -> List[Trajectory]:
         """Collect one trajectory per trace across the resident workers.
 
@@ -324,6 +338,7 @@ class PersistentWorkerPool:
                     float(epsilon),
                     bool(greedy),
                     self._weights_version,
+                    str(rng_family),
                 )
             )
         outcomes = self._await_results(len(shards))

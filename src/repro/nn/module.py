@@ -11,7 +11,40 @@ from repro.errors import SerializationError
 
 
 class Parameter(Tensor):
-    """A tensor that is always trainable and discoverable by :class:`Module`."""
+    """A tensor that is always trainable and discoverable by :class:`Module`.
+
+    Parameters additionally carry a monotonically increasing ``version``
+    so inference-side caches (packed weight layouts for the numpy and
+    native GRU kernels) can detect weight updates without comparing
+    array contents.  ``data`` is a property whose setter bumps the
+    version: the optimizers' in-place ``param.data -= update`` resolves
+    to a read, an in-place op and a set-back, so it fires the setter;
+    code that writes *through* the array (``param.data[...] = value``)
+    must use :meth:`assign` instead.
+    """
+
+    # Shadows the ``data`` slot descriptor inherited from Tensor: the
+    # backing array lives in the instance ``__dict__`` (subclassing a
+    # slotted class without declaring ``__slots__`` re-enables it), and
+    # Tensor.__init__'s ``self.data = ...`` routes through the setter.
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = np.asarray(value, dtype=np.float64)
+        self._version = getattr(self, "_version", -1) + 1
+
+    @property
+    def version(self) -> int:
+        """Bumped on every rebinding of ``data`` and every :meth:`assign`."""
+        return self._version
+
+    def assign(self, value) -> None:
+        """In-place overwrite of the backing array that bumps ``version``."""
+        self._data[...] = value
+        self._version += 1
 
     def __init__(self, data, name: str | None = None) -> None:
         super().__init__(data, requires_grad=True, name=name)
@@ -99,7 +132,7 @@ class Module:
                 raise SerializationError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
                 )
-            param.data[...] = value
+            param.assign(value)
 
     def copy_from(self, other: "Module") -> None:
         """Copy parameter values from a module with identical structure."""

@@ -1,0 +1,11 @@
+"""Build the fused GRU kernel ahead of first use.
+
+``PYTHONPATH=src python -m repro.nn.native`` compiles the shared object
+into the kernel cache (CI calls this so test runs don't pay the compile)
+and prints its path; exits non-zero when no compiler can produce it.
+"""
+
+from repro.nn.native import build
+
+if __name__ == "__main__":
+    print(build())

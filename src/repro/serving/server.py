@@ -64,6 +64,13 @@ class DecisionBackend(Protocol):
     # compiled artifacts.
     # ``end_sessions(table, slots)`` — release per-session resources
     # when sessions close.
+    # ``act_rollout(observations, hiddens, rngs=..., epsilon=...,
+    # greedy=..., active=...)`` — full training-mode batched step
+    # (sampled actions, values, explicit hidden rows).  Backends that
+    # implement it can be passed to
+    # :meth:`~repro.drl.rollout.BatchedRolloutCollector.collect_batch`
+    # in place of a bare policy, so training rollouts, evaluation and
+    # the decision server share one inference engine.
 
 
 class CompiledFSMBackend:
@@ -125,6 +132,31 @@ class GRUPolicyBackend:
         output = self.policy.act_batch(normalized, table.hidden[slots], greedy=True)
         table.hidden[slots] = output.hidden_states
         return np.asarray(output.actions, dtype=np.int64)
+
+    def act_rollout(
+        self,
+        observations: np.ndarray,
+        hiddens: np.ndarray,
+        rngs=None,
+        epsilon: float = 0.0,
+        greedy: bool = False,
+        active: Optional[np.ndarray] = None,
+    ):
+        """Training-mode batched step (the rollout collectors' hot call).
+
+        Thin delegation to ``policy.act_batch`` — the point is that the
+        same backend object (same policy instance, same fused kernel)
+        serves both the decision server's :meth:`decide` and the
+        trajectory collectors.
+        """
+        return self.policy.act_batch(
+            observations,
+            hiddens,
+            rngs=rngs,
+            epsilon=epsilon,
+            greedy=greedy,
+            active=active,
+        )
 
 
 class HeuristicAgentBackend:

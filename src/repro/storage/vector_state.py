@@ -64,7 +64,7 @@ from repro.storage.migration import (
     action_from_index,
 )
 from repro.storage.workload import WorkloadTrace
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import PhiloxStreams, SeedLike, _poisson_from_uniform, new_rng
 
 _NUM_LEVELS = len(LEVELS)
 _DRAIN_EPSILON = 1e-9
@@ -135,6 +135,7 @@ class VectorSimulatorState:
         self.batch = 0
         self._cache_models: List[CacheModel] = []
         self._rngs: List[np.random.Generator] = []
+        self._philox: Optional[PhiloxStreams] = None
         self._traces: List[WorkloadTrace] = []
         self.episodes: List[EpisodeMetrics] = []
 
@@ -223,13 +224,22 @@ class VectorSimulatorState:
         while len(self._cache_models) < batch:
             self._cache_models.append(self._cache_model_factory())
         del self._cache_models[batch:]
-        while len(self._rngs) < batch:
-            self._rngs.append(new_rng(None))
-        del self._rngs[batch:]
-        if rngs is not None:
-            for i, seed in enumerate(rngs):
-                if seed is not None:
-                    self._rngs[i] = new_rng(seed)
+        if isinstance(rngs, PhiloxStreams):
+            # Counter-based family: the batch shares one stream object so
+            # idle sampling can materialise every slot's draws in a single
+            # vectorized call; ``self._rngs`` holds per-slot lane views of
+            # the same cursors so slot-level accessors keep working.
+            self._philox = rngs
+            self._rngs = [rngs.lane(i) for i in range(batch)]
+        else:
+            self._philox = None
+            while len(self._rngs) < batch:
+                self._rngs.append(new_rng(None))
+            del self._rngs[batch:]
+            if rngs is not None:
+                for i, seed in enumerate(rngs):
+                    if seed is not None:
+                        self._rngs[i] = new_rng(seed)
         for model in self._cache_models:
             model.reset()
         # Constant-miss fast path: when every slot's model is a constant,
@@ -530,10 +540,76 @@ class VectorSimulatorState:
         array-lambda call by ~6x, and draws are almost always zero, so
         only nonzero results touch the idle matrix.
         """
-        self.idle[rows] = 0
         self._idle_drawn = False
         if self.config.idle_rate <= 0:
+            self.idle[rows] = 0
             return
+        streams = self._philox
+        if streams is not None:
+            # Counter-based family: every multi-core (slot, level) cell
+            # samples in ONE block draw + ONE Poisson inversion.  A
+            # lane's eligible levels map to consecutive cursor values in
+            # NORMAL/KV/RV order — the exact sequence the scalar
+            # per-level calls consume — so slot i stays bit-identical to
+            # a scalar episode on lane i (the inversion is element-wise,
+            # hence shape-independent).
+            counts = self.counts[rows]
+            # Fused native sampler first: keystream + inversion in one C
+            # call (bit-identical by contract, self-checked at load).
+            lam = self.config.idle_rate * counts
+            native = streams.idle_poisson(rows, counts, lam, np.exp(-lam))
+            if native is not None:
+                draws, fired = native
+                self.idle[rows] = draws
+                self._idle_drawn = fired > 0
+                return
+            self.idle[rows] = 0
+            eligible = counts > 1
+            if eligible.all():
+                # Common case: every (slot, level) cell is multi-core,
+                # so each lane consumes exactly _NUM_LEVELS consecutive
+                # draws — one block call, no rank bookkeeping.
+                sub = rows
+                gathered = streams.uniforms_block(rows, _NUM_LEVELS)
+            else:
+                per_lane = eligible.sum(axis=1)
+                active = per_lane > 0
+                if not active.any():
+                    self._idle_drawn = False
+                    return
+                sub = rows[active]
+                counts = counts[active]
+                eligible = eligible[active]
+                uniforms = streams.uniforms_block(sub, per_lane[active])
+                # Column of each eligible cell within its lane's block =
+                # rank of the level among the lane's eligible levels.
+                position = np.cumsum(eligible, axis=1) - 1
+                gathered = uniforms[
+                    np.arange(sub.shape[0])[:, None],
+                    np.minimum(position, uniforms.shape[1] - 1),
+                ]
+                lam = np.where(eligible, self.config.idle_rate * counts, 0.0)
+            # ``u < exp(-lam)`` is the inversion's k=0 outcome, so one
+            # comparison finds the (typically few) firing cells and the
+            # Poisson inversion runs on those alone.  Padding cells have
+            # lam=0, term=1, u < 1 — they can never fire.
+            term = np.exp(-lam)
+            fire = gathered >= term
+            if not fire.any():
+                self._idle_drawn = False
+                return
+            slot_idx, level_idx = np.nonzero(fire)
+            draws = _poisson_from_uniform(
+                gathered[slot_idx, level_idx],
+                lam[slot_idx, level_idx],
+                term[slot_idx, level_idx],
+            )
+            self.idle[sub[slot_idx], level_idx] = np.minimum(
+                draws, counts[slot_idx, level_idx] - 1
+            )
+            self._idle_drawn = True
+            return
+        self.idle[rows] = 0
         lam_rows = (self.config.idle_rate * self.counts[rows]).tolist()
         counts_rows = self.counts[rows].tolist()
         rngs = self._rngs

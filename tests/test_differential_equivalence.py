@@ -39,6 +39,8 @@ from repro.drl.rollout import (
 from repro.env.environment import StorageAllocationEnv
 from repro.env.reward import RewardConfig
 from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.nn.native import native_available, native_unavailable_reason
+from repro.nn.rnn import GRUCell
 from repro.storage.iorequest import NUM_IO_TYPES
 from repro.storage.simulator import StorageSystemConfig
 from repro.storage.workload import WorkloadInterval, WorkloadTrace
@@ -300,6 +302,260 @@ def test_vector_vs_parallel_vs_pool_bit_identical(index):
             case, reference, None, collect_parallel(case), "parallel"
         )
     _assert_case_equivalent(case, reference, None, collect_pool(case), "pool")
+
+
+# ----------------------------------------------------------------------
+# Philox (counter-based) stream family: same four collection modes
+# ----------------------------------------------------------------------
+# The philox family draws *different* episodes than legacy (goldens are
+# pinned per family in test_golden_traces.py); what this harness pins is
+# that within the family every collection mode is bit-identical — the
+# vectorized one-call-per-decision draws match per-lane scalar draws
+# exactly, across worker layouts — and that both stream cursors end in
+# the same position.
+PHILOX_NUM_CONFIGS = 25
+PHILOX_PARALLEL_STRIDE = 7
+
+
+def collect_scalar_philox(case: FuzzCase):
+    """Sequential reference on per-episode philox lanes."""
+    collector = RolloutCollector(
+        StorageAllocationEnv(case.system_config, reward_config=case.reward_config)
+    )
+    episode_rngs, action_rngs = derive_episode_streams(
+        case.base_seed, len(case.traces), rng_family="philox"
+    )
+    trajectories = [
+        collector.collect(
+            case.policy,
+            trace,
+            epsilon=case.epsilon,
+            greedy=case.greedy,
+            episode_seed=episode_rngs.lane(i),
+            action_rng=action_rngs.lane(i),
+        )
+        for i, trace in enumerate(case.traces)
+    ]
+    return trajectories, (episode_rngs.state(), action_rngs.state())
+
+
+def collect_vector_philox(case: FuzzCase):
+    """Lockstep batch consuming the whole stream sets vectorized."""
+    collector = BatchedRolloutCollector(
+        VectorStorageAllocationEnv(case.system_config, case.reward_config)
+    )
+    episode_rngs, action_rngs = derive_episode_streams(
+        case.base_seed, len(case.traces), rng_family="philox"
+    )
+    trajectories = collector.collect_batch(
+        case.policy,
+        case.traces,
+        epsilon=case.epsilon,
+        greedy=case.greedy,
+        episode_rngs=episode_rngs,
+        action_rngs=action_rngs,
+    )
+    return trajectories, (episode_rngs.state(), action_rngs.state())
+
+
+def _assert_philox_equivalent(case, reference, candidate, name: str):
+    __tracebackhide__ = True
+    trajectories, positions = candidate
+    ref_trajectories, ref_positions = reference
+    assert len(trajectories) == len(ref_trajectories), f"config {case.index} ({name})"
+    for i, (expected, actual) in enumerate(zip(ref_trajectories, trajectories)):
+        assert_trajectories_identical(
+            expected, actual, f"philox config {case.index} episode {i} ({name})"
+        )
+    if positions is not None:
+        assert positions[0] == ref_positions[0], (
+            f"philox config {case.index} ({name}): environment stream cursors diverged"
+        )
+        assert positions[1] == ref_positions[1], (
+            f"philox config {case.index} ({name}): action stream cursors diverged"
+        )
+
+
+@pytest.mark.parametrize("index", range(PHILOX_NUM_CONFIGS))
+def test_philox_scalar_vs_vector_bit_identical(index):
+    case = make_case(index)
+    reference = collect_scalar_philox(case)
+    _assert_philox_equivalent(case, reference, collect_vector_philox(case), "vector")
+
+
+@pytest.mark.parametrize("index", range(PHILOX_NUM_CONFIGS))
+def test_philox_vector_vs_parallel_vs_pool_bit_identical(index):
+    case = make_case(index)
+    reference = collect_vector_philox(case)
+    if index % PHILOX_PARALLEL_STRIDE == 0:
+        collector = ParallelRolloutCollector(
+            case.system_config, case.reward_config, num_workers=2
+        )
+        parallel = collector.collect(
+            case.policy,
+            case.traces,
+            base_seed=case.base_seed,
+            epsilon=case.epsilon,
+            greedy=case.greedy,
+            rng_family="philox",
+        )
+        _assert_philox_equivalent(case, reference, (parallel, None), "parallel")
+    with PersistentWorkerPool(
+        case.system_config, case.reward_config, num_workers=2
+    ) as pool:
+        pooled = pool.collect(
+            case.policy,
+            case.traces,
+            base_seed=case.base_seed,
+            epsilon=case.epsilon,
+            greedy=case.greedy,
+            rng_family="philox",
+        )
+    _assert_philox_equivalent(case, reference, (pooled, None), "pool")
+
+
+# ----------------------------------------------------------------------
+# Fused native kernel vs pure-numpy forward
+# ----------------------------------------------------------------------
+# The native kernel's contract is allclose-level agreement (fused
+# fast-math transcendentals reassociate), not bit identity; the packed
+# pure-numpy path's contract IS bit identity whenever its stability
+# probe passes — both pinned here over randomized shapes including B=1.
+
+native_only = pytest.mark.skipif(
+    not native_available(), reason=f"native kernel unavailable: {native_unavailable_reason()}"
+)
+
+
+@native_only
+@pytest.mark.parametrize("config_index", range(12))
+def test_native_gru_kernel_matches_numpy(config_index):
+    rng = np.random.default_rng(77_000 + config_index)
+    input_size = int(rng.integers(1, 48))
+    hidden = int(rng.choice([1, 3, 4, 6, 8, 12, 16, 17, 32, 128]))
+    batch = int(rng.choice([1, 2, 5, 16]))
+    seed = int(rng.integers(1 << 31))
+    reference = GRUCell(input_size, hidden, rng=seed)
+    native = GRUCell(input_size, hidden, rng=seed, kernel="native")
+    for _ in range(3):
+        x = rng.standard_normal((batch, input_size))
+        h = rng.standard_normal((batch, hidden))
+        np.testing.assert_allclose(
+            native.forward_np(x, h),
+            reference.forward_np(x, h),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+    # Weight mutation through the optimizer idiom must repack.
+    for parameter in native.parameters():
+        parameter.data -= 0.01 * np.ones_like(parameter.data)
+    for parameter in reference.parameters():
+        parameter.data -= 0.01 * np.ones_like(parameter.data)
+    x = rng.standard_normal((batch, input_size))
+    h = rng.standard_normal((batch, hidden))
+    np.testing.assert_allclose(
+        native.forward_np(x, h), reference.forward_np(x, h), rtol=1e-12, atol=1e-12
+    )
+
+
+@native_only
+@pytest.mark.parametrize("config_index", range(6))
+def test_native_policy_kernel_matches_numpy(config_index):
+    rng = np.random.default_rng(78_000 + config_index)
+    hidden = int(rng.choice([4, 12, 16, 128]))
+    batch = int(rng.choice([1, 3, 16]))
+    seed = int(rng.integers(1 << 31))
+    reference = RecurrentPolicyValueNet(PolicyConfig(hidden_size=hidden), rng=seed)
+    native = RecurrentPolicyValueNet(
+        PolicyConfig(hidden_size=hidden, kernel="native"), rng=seed
+    )
+    native.load_state_dict(reference.state_dict())
+    observations = rng.standard_normal((batch, reference.config.observation_dim))
+    hiddens = rng.standard_normal((batch, hidden))
+    ref_out = reference.act_batch(observations, hiddens, greedy=True)
+    nat_out = native.act_batch(observations, hiddens, greedy=True)
+    np.testing.assert_array_equal(ref_out.actions, nat_out.actions)
+    np.testing.assert_allclose(ref_out.values, nat_out.values, rtol=1e-10, atol=1e-12)
+    np.testing.assert_allclose(
+        ref_out.hidden_states, nat_out.hidden_states, rtol=1e-10, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        ref_out.log_probs, nat_out.log_probs, rtol=1e-10, atol=1e-12
+    )
+
+
+@native_only
+@pytest.mark.parametrize("config_index", range(8))
+def test_native_philox_idle_sampler_bit_identical(config_index):
+    """The fused C idle sampler vs the pure-numpy reference, bitwise.
+
+    Unlike the GRU kernel (allclose budget), the Philox sampler's
+    contract is exact: golden traces are pinned on the numpy streams and
+    native availability must not change a single draw or cursor.  The
+    end-to-end guard is the scalar-vs-vector philox suite above (scalar
+    draws via numpy lanes, vector via the C path when available); this
+    pins the entry point directly across count/rate extremes the rollout
+    configs may not reach — zero/one-core skips, deep inversions, large
+    episode ids and cursors.
+    """
+    from repro.utils.rng import (
+        PhiloxStreams,
+        _native_idle_kernel,
+        _philox_idle_reference,
+    )
+
+    kernel = _native_idle_kernel()
+    if kernel is None:
+        pytest.skip("native philox sampler unavailable or self-check failed")
+    rng = np.random.default_rng(81_000 + config_index)
+    lanes = int(rng.integers(1, 24))
+    levels = int(rng.integers(1, 5))
+    episodes = rng.integers(0, 1 << 40, lanes).astype(np.uint64)
+    streams = PhiloxStreams(int(rng.integers(1 << 31)), episodes, "idle-diff")
+    streams._cursors[:] = rng.integers(0, 100_000, lanes).astype(np.uint64)
+    counts = rng.integers(0, 130, (lanes, levels)).astype(np.int64)
+    lam = float(rng.uniform(0.001, 2.0)) * counts
+    term = np.exp(-lam)
+    expected = _philox_idle_reference(
+        streams._episodes, streams._cursors, counts, lam, term,
+        streams._round_keys,
+    )
+    cursors_before = streams._cursors.copy()
+    result = streams.idle_poisson(np.arange(lanes), counts, lam, term)
+    assert result is not None
+    draws, fired = result
+    np.testing.assert_array_equal(draws, expected[0])
+    assert fired == expected[2]
+    np.testing.assert_array_equal(streams._cursors, cursors_before + expected[1])
+
+
+@pytest.mark.parametrize("config_index", range(10))
+def test_packed_numpy_path_is_bitwise_when_probe_stable(config_index):
+    """The BLAS-stable width contract behind the packed fast path.
+
+    Whenever the synthetic stability probe declares a (shape, batch)
+    class gemm-stable, the column-packed forward must be *bitwise*
+    identical to the buffered reference — that is the precondition that
+    makes the packed path eligible at all.
+    """
+    rng = np.random.default_rng(79_000 + config_index)
+    input_size = int(rng.integers(7, 40))
+    # Gemm-eligible widths only (>= _GEMM_MIN_COLS): narrower cells
+    # dispatch to the einsum path, which never packs.  The pool spans
+    # probe-stable widths (8/16/128) and known-unstable ones (12/17).
+    hidden = int(rng.choice([8, 12, 16, 17, 128]))
+    batch = int(rng.choice([2, 4, 16]))
+    cell = GRUCell(input_size, hidden, rng=int(rng.integers(1 << 31)))
+    packed = cell._packed_np_weights()
+    x = rng.standard_normal((batch, input_size))
+    h = rng.standard_normal((batch, hidden))
+    buffered = cell._forward_np_buffered(x, h, packed)
+    if packed.stable_for(batch):
+        np.testing.assert_array_equal(cell._forward_np_packed(x, h, packed), buffered)
+    # Regardless of probe outcome, the dispatching forward_np must be
+    # bitwise identical to the buffered reference (unstable or race-lost
+    # shapes must fall back).
+    np.testing.assert_array_equal(cell.forward_np(x, h), buffered)
 
 
 def test_case_generator_covers_the_interesting_axes():
