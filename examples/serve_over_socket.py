@@ -1,0 +1,205 @@
+"""Serve policy decisions over the network front door, with one hot-swap.
+
+Run with::
+
+    python examples/serve_over_socket.py [--sessions 200] [--rounds 8] \
+        [--clients 4] [--latency-json out.json]
+
+Stands up the asyncio :class:`PolicyNetServer` on a unix socket with a
+versioned :class:`ArtifactRegistry` (``v1`` = compiled FSM with the GRU
+in shadow, ``v2`` = the GRU itself), drives a few hundred concurrent
+sessions through real framed :class:`PolicyClient` connections, performs
+one blue/green hot-swap mid-stream, then drains gracefully and prints —
+and optionally writes — the per-request latency histogram.
+
+The artifacts are built directly (a handmade FSM over the storage
+observation space plus an untrained GRU) so the demo starts in seconds;
+see ``examples/serve_policy.py`` for the full train-extract-compile
+pipeline feeding the same serving stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.fsm.machine import FiniteStateMachine
+from repro.qbn.autoencoder import build_observation_qbn
+from repro.qbn.quantize import code_key
+from repro.serving import (
+    ArtifactRegistry,
+    CompiledFSMBackend,
+    CompiledFSMPolicy,
+    GRUPolicyBackend,
+    PolicyClient,
+    PolicyNetServer,
+    PolicyServer,
+    ShadowEvaluator,
+)
+from repro.storage.migration import NUM_ACTIONS, MigrationAction
+from repro.storage.simulator import StorageSystemConfig
+from repro.utils.serialization import save_json
+from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+
+
+def build_artifacts(seed: int):
+    """A small compiled FSM + GRU over the real observation space."""
+    env = StorageAllocationEnv(
+        StorageSystemConfig(),
+        reward_config=RewardConfig(mode="per_step_penalty"),
+        rng=seed,
+    )
+    generator = StandardWorkloadGenerator(
+        env.system_config, GeneratorConfig(), rng=seed
+    )
+    trace = generator.generate("web_server", duration=24)
+    rng = np.random.default_rng(seed + 9)
+    observation = env.reset(trace)
+    rows = []
+    while True:
+        rows.append(observation.raw())
+        result = env.step(MigrationAction(int(rng.integers(NUM_ACTIONS))))
+        observation = result.observation
+        if result.done:
+            break
+    stream = np.array(rows)
+
+    rng = np.random.default_rng(seed + 3)
+    qbn = build_observation_qbn(stream.shape[1], latent_dim=6, hidden_dim=16, rng=seed + 4)
+    fsm = FiniteStateMachine()
+    codes = []
+    while len(codes) < 4:
+        code = tuple(int(c) for c in rng.integers(0, 3, size=5))
+        if code not in fsm.states:
+            state = fsm.add_state(code, MigrationAction(int(rng.integers(NUM_ACTIONS))))
+            state.visit_count = int(rng.integers(20))
+            codes.append(code)
+    normalized = env.observation_encoder.normalize_batch(stream)
+    for vector in normalized[:5]:
+        key = code_key(qbn.discrete_code(vector))
+        if key not in fsm.observation_prototypes:
+            fsm.observation_prototypes[key] = np.asarray(vector, float)
+    observation_keys = list(fsm.observation_prototypes)
+    for _ in range(20):
+        fsm.add_transition(
+            codes[int(rng.integers(len(codes)))],
+            observation_keys[int(rng.integers(len(observation_keys)))],
+            codes[int(rng.integers(len(codes)))],
+        )
+    fsm.initial_state = codes[1]
+    fsm.validate()
+    compiled = CompiledFSMPolicy.compile(fsm, qbn, encoder=env.observation_encoder)
+    policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=seed + 5)
+    return env, compiled, policy, stream
+
+
+async def drive(args) -> None:
+    env, compiled, policy, stream = build_artifacts(args.seed)
+
+    registry = ArtifactRegistry()
+    shadowed = ShadowEvaluator(CompiledFSMBackend(compiled), GRUPolicyBackend(policy))
+    registry.register_backend("v1", shadowed, kind="shadowed_compiled_fsm")
+    registry.register_backend("v2", GRUPolicyBackend(policy), kind="gru")
+    server = PolicyServer(
+        shadowed,
+        env.observation_encoder,
+        initial_capacity=args.sessions,
+        max_batch_size=256,
+    )
+    netserver = PolicyNetServer(
+        server, registry=registry, active_version="v1", flush_interval=0.001
+    )
+
+    socket_dir = tempfile.mkdtemp(prefix="repro-net", dir="/tmp")
+    socket_path = os.path.join(socket_dir, "policy.sock")
+    endpoints = await netserver.start(unix_path=socket_path)
+    print(f"serving on {endpoints['unix']}  "
+          f"(v1 = compiled FSM + GRU shadow, v2 = GRU)")
+
+    clients = [await PolicyClient.connect_unix(socket_path)
+               for _ in range(args.clients)]
+    per_client = args.sessions // args.clients
+    handles = [await client.open(per_client) for client in clients]
+    total_sessions = per_client * args.clients
+    print(f"opened {total_sessions} sessions over {args.clients} connections")
+
+    swap_round = args.rounds // 2
+    start = time.perf_counter()
+    for round_index in range(args.rounds):
+        if round_index == swap_round:
+            entry = await clients[0].swap("v2", reason="example_blue_green")
+            print(f"round {round_index}: hot-swapped "
+                  f"{entry['from_backend']} -> {entry['to_backend']} "
+                  f"(state {entry['state']}, "
+                  f"flushed {entry['flushed_pending']} pending)")
+        await asyncio.gather(*[
+            client.decide(
+                handle,
+                stream[(c * per_client + s + round_index * 13) % len(stream)],
+            )
+            for c, client in enumerate(clients)
+            for s, handle in enumerate(handles[c])
+        ])
+    elapsed = time.perf_counter() - start
+
+    stats = await clients[0].stats()
+    audit = await clients[0].audit()
+    for client in clients:
+        await client.close()
+    summary = await netserver.drain()
+
+    decisions = stats["decisions"]
+    latency = stats["latency"]
+    print(f"\nserved {decisions} decisions over the socket in {elapsed:.3f}s "
+          f"({decisions / elapsed:,.0f} decisions/s)")
+    print(f"request latency: p50 {latency['p50_ms']:.3f}ms  "
+          f"p95 {latency['p95_ms']:.3f}ms  p99 {latency['p99_ms']:.3f}ms")
+    print(f"audit trail: {[entry['event'] for entry in audit]}")
+    print(f"drained cleanly: parked {summary['parked_replies']}, "
+          f"pending {summary['pending']}, failed {summary['failed']}")
+    if summary["parked_replies"] or summary["pending"]:
+        raise SystemExit("drain left unresolved work")
+
+    if args.latency_json:
+        payload = {
+            "example": "serve_over_socket",
+            "sessions": total_sessions,
+            "rounds": args.rounds,
+            "clients": args.clients,
+            "decisions": decisions,
+            "decisions_per_second": decisions / elapsed,
+            "swap_audit": audit,
+            "latency": latency,
+            "drain": summary,
+        }
+        save_json(args.latency_json, payload)
+        print(f"latency histogram written to {args.latency_json}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=200,
+                        help="concurrent sessions (default 200)")
+    parser.add_argument("--rounds", type=int, default=8,
+                        help="decision rounds per session (default 8)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="client connections to spread sessions over")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--latency-json", type=str, default=None,
+                        help="write the latency histogram summary to this path")
+    args = parser.parse_args()
+    if args.clients < 1 or args.sessions < args.clients:
+        raise SystemExit("need at least one session per client")
+    asyncio.run(drive(args))
+
+
+if __name__ == "__main__":
+    main()

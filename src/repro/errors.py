@@ -46,3 +46,16 @@ class ExtractionError(ReproError):
 
 class SerializationError(ReproError):
     """An artefact could not be saved or loaded."""
+
+
+class ServingError(ReproError):
+    """A serving-layer request failed at runtime (backend fault, drain)."""
+
+
+class StaleSessionError(ServingError):
+    """A session handle's generation no longer matches its slot.
+
+    Raised when a caller presents ``(slot, generation)`` for a slot that
+    was closed and reopened since the handle was issued — acting on it
+    would steer a *different* client's session.
+    """

@@ -11,30 +11,45 @@ observation QBN) into a high-throughput decision service:
 * :mod:`repro.serving.server` — the micro-batching request broker and
   the :class:`DecisionBackend` protocol its backends implement;
 * :mod:`repro.serving.shadow` — run a second backend in shadow mode and
-  stream serving-time fidelity counters.
+  stream serving-time fidelity counters (plus the threshold alarm that
+  can drive an automatic rollback);
+* :mod:`repro.serving.artifacts` — versioned artifact registry with the
+  blue/green swap audit trail;
+* :mod:`repro.serving.netserver` — the asyncio network front door
+  (unix-socket / TCP, length-prefixed JSON or msgpack frames) and its
+  pipelining client.
 """
 
+from repro.serving.artifacts import ArtifactRecord, ArtifactRegistry
 from repro.serving.compiled_fsm import CompiledDecision, CompiledFSMPolicy
+from repro.serving.netserver import PolicyClient, PolicyNetServer
 from repro.serving.server import (
     CompiledFSMBackend,
     DecisionBackend,
     DecisionTicket,
     GRUPolicyBackend,
     HeuristicAgentBackend,
+    LatencyHistogram,
     PolicyServer,
     ServerStats,
 )
 from repro.serving.sessions import SessionTable
-from repro.serving.shadow import ShadowEvaluator
+from repro.serving.shadow import FidelityAlarm, ShadowEvaluator
 
 __all__ = [
+    "ArtifactRecord",
+    "ArtifactRegistry",
     "CompiledDecision",
     "CompiledFSMPolicy",
     "CompiledFSMBackend",
     "DecisionBackend",
     "DecisionTicket",
+    "FidelityAlarm",
     "GRUPolicyBackend",
     "HeuristicAgentBackend",
+    "LatencyHistogram",
+    "PolicyClient",
+    "PolicyNetServer",
     "PolicyServer",
     "ServerStats",
     "SessionTable",

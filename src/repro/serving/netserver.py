@@ -1,0 +1,713 @@
+"""The asyncio network front door for the policy decision server.
+
+Everything before this module serves decisions to *in-process* callers;
+:class:`PolicyNetServer` puts the micro-batching
+:class:`~repro.serving.server.PolicyServer` behind a real transport —
+a unix socket and/or TCP — so separate processes (and hosts) can open
+sessions and stream decision requests at it.
+
+Wire format
+-----------
+Length-prefixed frames: a 5-byte header ``!BI`` (1 codec byte, 4-byte
+big-endian payload length) followed by the payload.  Codec ``0`` is
+JSON (UTF-8) and is always available; codec ``1`` is msgpack and is
+used only when the ``msgpack`` package is importable (the server
+answers each frame in the codec it arrived in, so mixed clients work).
+Payloads are single dicts with an ``op`` field; requests may carry an
+``id`` which is echoed verbatim in the reply, letting clients pipeline
+requests and match responses out of order.
+
+Batching
+--------
+``decide`` requests do **not** answer inline.  Each one becomes a
+:class:`~repro.serving.server.DecisionTicket` in the broker's queue and
+the connection handler parks the reply; the queue flushes either when
+it reaches the broker's ``max_batch_size`` (size trigger, synchronous)
+or when the server's flush loop ticks (time trigger,
+``flush_interval`` seconds).  One backend call answers every parked
+request of the batch, and per-request arrival→reply latency is recorded
+into the :class:`~repro.serving.server.ServerStats` SLO histogram.
+
+Back-pressure is per connection: more than ``max_inflight`` unanswered
+``decide`` requests on one connection get an immediate ``BUSY`` error
+reply instead of a queue slot, so one flooding client cannot grow the
+queue unboundedly for everyone else.
+
+Session handles are ``(slot, generation)`` pairs.  Every request that
+names a session carries both, and the server validates the generation
+against the session table — a reconnecting client holding a handle
+whose slot was closed and reused gets ``STALE_SESSION``, never another
+tenant's session.
+
+Lifecycle
+---------
+Blue/green hot-swap: with an :class:`~repro.serving.artifacts.ArtifactRegistry`
+attached, the ``swap`` admin op (or a tripped
+:class:`~repro.serving.shadow.FidelityAlarm`, checked every flush tick)
+drains the in-flight micro-batch and atomically installs another
+artifact version — session handles survive, state migrates or resets
+per the backend-compatibility check, and the registry's audit trail
+records what happened.  Graceful drain (:meth:`PolicyNetServer.drain`)
+stops accepting, flushes and resolves everything still queued, then
+closes every connection — no ticket is ever left unresolved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import struct
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError, ServingError, StaleSessionError
+from repro.serving.artifacts import ArtifactRegistry
+from repro.serving.server import DecisionTicket, PolicyServer
+from repro.serving.shadow import FidelityAlarm
+
+try:  # optional dependency — JSON is the always-available codec
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - exercised where msgpack is absent
+    msgpack = None
+
+CODEC_JSON = 0
+CODEC_MSGPACK = 1
+_HEADER = struct.Struct("!BI")
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(payload: Dict[str, object], codec: int = CODEC_JSON) -> bytes:
+    """Serialise one message dict into a length-prefixed frame."""
+    if codec == CODEC_JSON:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    elif codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ConfigurationError(
+                "msgpack codec requested but the msgpack package is not installed"
+            )
+        body = msgpack.packb(payload, use_bin_type=True)
+    else:
+        raise ConfigurationError(f"unknown frame codec {codec}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ConfigurationError(f"frame too large: {len(body)} bytes")
+    return _HEADER.pack(codec, len(body)) + body
+
+
+def decode_body(codec: int, body: bytes) -> Dict[str, object]:
+    """Deserialise one frame body."""
+    if codec == CODEC_JSON:
+        payload = json.loads(body.decode("utf-8"))
+    elif codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ConfigurationError(
+                "peer sent a msgpack frame but the msgpack package is not installed"
+            )
+        payload = msgpack.unpackb(body, raw=False)
+    else:
+        raise ConfigurationError(f"unknown frame codec {codec}")
+    if not isinstance(payload, dict):
+        raise ConfigurationError("frame payload must be a mapping")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, Dict[str, object]]:
+    """Read one frame; raises ``IncompleteReadError`` on EOF."""
+    header = await reader.readexactly(_HEADER.size)
+    codec, length = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConfigurationError(f"frame too large: {length} bytes")
+    body = await reader.readexactly(length)
+    return codec, decode_body(codec, body)
+
+
+class _Connection:
+    """Per-connection bookkeeping (write side + in-flight accounting)."""
+
+    __slots__ = ("writer", "inflight", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.inflight = 0
+        self.closed = False
+
+    def send(self, payload: Dict[str, object], codec: int) -> None:
+        if self.closed or self.writer.is_closing():
+            return
+        self.writer.write(encode_frame(payload, codec))
+
+
+class _Waiter:
+    """One parked ``decide`` reply, settled when its ticket resolves."""
+
+    __slots__ = ("ticket", "connection", "codec", "request_id", "arrived")
+
+    def __init__(
+        self,
+        ticket: DecisionTicket,
+        connection: _Connection,
+        codec: int,
+        request_id: object,
+        arrived: float,
+    ) -> None:
+        self.ticket = ticket
+        self.connection = connection
+        self.codec = codec
+        self.request_id = request_id
+        self.arrived = arrived
+
+
+def _error_reply(code: str, message: str, request_id: object) -> Dict[str, object]:
+    reply: Dict[str, object] = {"ok": False, "error": code, "message": message}
+    if request_id is not None:
+        reply["id"] = request_id
+    return reply
+
+
+class PolicyNetServer:
+    """Asyncio front door feeding one :class:`PolicyServer` broker.
+
+    Parameters
+    ----------
+    server:
+        The in-process micro-batching broker to serve through.
+    registry / active_version:
+        Optional :class:`ArtifactRegistry` enabling the ``swap`` admin
+        op and alarm-driven rollback; ``active_version`` labels the
+        currently mounted backend in ``versions`` replies and audits.
+    flush_interval:
+        Time trigger of the batching loop — the longest a queued request
+        waits before a flush when the size trigger never fires.
+    max_inflight:
+        Per-connection bound on unanswered ``decide`` requests; above
+        it the server answers ``BUSY`` immediately (back-pressure).
+    alarm / alarm_swap_to:
+        A :class:`FidelityAlarm` checked every flush tick; when it
+        trips, the server automatically hot-swaps to artifact version
+        ``alarm_swap_to`` (requires ``registry``) and records the trip
+        in the audit trail.
+    """
+
+    def __init__(
+        self,
+        server: PolicyServer,
+        registry: Optional[ArtifactRegistry] = None,
+        active_version: Optional[str] = None,
+        flush_interval: float = 0.002,
+        max_inflight: int = 64,
+        alarm: Optional[FidelityAlarm] = None,
+        alarm_swap_to: Optional[str] = None,
+    ) -> None:
+        if flush_interval <= 0:
+            raise ConfigurationError("flush_interval must be positive")
+        if max_inflight <= 0:
+            raise ConfigurationError("max_inflight must be positive")
+        if alarm_swap_to is not None and registry is None:
+            raise ConfigurationError("alarm_swap_to needs an artifact registry")
+        self.server = server
+        self.registry = registry
+        self.active_version = active_version
+        self.flush_interval = float(flush_interval)
+        self.max_inflight = int(max_inflight)
+        self.alarm = alarm
+        self.alarm_swap_to = alarm_swap_to
+        self._waiters: List[_Waiter] = []
+        self._connections: List[_Connection] = []
+        self._listeners: List[asyncio.AbstractServer] = []
+        self._flush_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self.connections_total = 0
+        self.busy_rejections = 0
+        self.requests_total = 0
+        self.protocol_errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+    ) -> Dict[str, object]:
+        """Open the listeners and start the batching flush loop.
+
+        Returns the bound endpoints (``{"unix": path, "tcp": (host, port)}``
+        for whichever transports were requested).
+        """
+        if unix_path is None and host is None:
+            raise ConfigurationError("need a unix_path and/or a TCP host to listen on")
+        endpoints: Dict[str, object] = {}
+        if unix_path is not None:
+            listener = await asyncio.start_unix_server(self._handle, path=unix_path)
+            self._listeners.append(listener)
+            endpoints["unix"] = unix_path
+        if host is not None:
+            listener = await asyncio.start_server(self._handle, host=host, port=port)
+            self._listeners.append(listener)
+            bound = listener.sockets[0].getsockname()
+            endpoints["tcp"] = (bound[0], bound[1])
+        self._flush_task = asyncio.get_running_loop().create_task(self._flush_loop())
+        return endpoints
+
+    async def drain(self) -> Dict[str, object]:
+        """Graceful shutdown: stop accepting, resolve everything, close.
+
+        Guarantees on return: no queued request is unresolved (every
+        parked reply was written, as a decision or an explicit error),
+        no listener accepts, and every connection is closed.
+        """
+        self._draining = True
+        for listener in self._listeners:
+            listener.close()
+        for listener in self._listeners:
+            await listener.wait_closed()
+        self._listeners = []
+        # Flush whatever is queued; a backend fault fails those tickets,
+        # which _settle turns into explicit error replies.
+        try:
+            self.server.flush()
+        except ReproError:
+            pass
+        self._settle()
+        # Anything still unresolved (cannot normally happen — flush
+        # resolves or fails every ticket) is failed explicitly.
+        for waiter in self._waiters:
+            waiter.ticket.fail(ServingError("server drained before decision"))
+        self._settle()
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+            self._flush_task = None
+        for connection in list(self._connections):
+            await self._close_connection(connection)
+        self._drained.set()
+        if self.registry is not None:
+            self.registry.record_event(
+                "drain", active_version=self.active_version,
+                decisions=self.server.stats().decisions,
+            )
+        return self.summary()
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    def summary(self) -> Dict[str, object]:
+        stats = self.server.stats().as_dict()
+        payload: Dict[str, object] = {
+            "backend": self.server.backend.name,
+            "active_version": self.active_version,
+            "active_sessions": self.server.table.num_active,
+            "pending": self.server.pending,
+            "parked_replies": len(self._waiters),
+            "connections_total": self.connections_total,
+            "connections_open": len(self._connections),
+            "requests_total": self.requests_total,
+            "busy_rejections": self.busy_rejections,
+            "protocol_errors": self.protocol_errors,
+            "draining": self._draining,
+            **stats,
+        }
+        if self.alarm is not None:
+            payload["alarm"] = self.alarm.summary()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def swap(self, version: str, reason: str = "manual") -> Dict[str, object]:
+        """Blue/green swap to artifact ``version`` (drains the micro-batch)."""
+        if self.registry is None:
+            raise ConfigurationError("no artifact registry attached to this server")
+        entry = self.registry.swap(
+            self.server, version, from_version=self.active_version, reason=reason
+        )
+        # The drain-flush inside swap_backend resolved queued tickets;
+        # settle their parked replies before new-backend traffic lands.
+        self._settle()
+        self.active_version = version
+        if self.alarm is not None:
+            # The alarm watched the *old* primary; after a swap it is
+            # stale unless the evaluator is still the mounted backend.
+            if self.alarm.evaluator is self.server.backend:
+                self.alarm.reset()
+            else:
+                self.alarm = None
+        return entry
+
+    def _check_alarm(self) -> None:
+        if self.alarm is None or self.alarm_swap_to is None:
+            return
+        if self.alarm.check():
+            trip = self.alarm.summary()
+            if self.registry is not None:
+                self.registry.record_event(
+                    "fidelity_alarm", active_version=self.active_version, **trip
+                )
+            self.swap(self.alarm_swap_to, reason="fidelity_alarm")
+
+    # ------------------------------------------------------------------
+    # Batching loop
+    # ------------------------------------------------------------------
+    async def _flush_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.flush_interval)
+            if self.server.pending:
+                try:
+                    self.server.flush()
+                except ReproError:
+                    pass  # tickets were failed; replies settle below
+            self._settle()
+            self._check_alarm()
+
+    def _settle(self) -> None:
+        """Write replies for every parked request whose ticket resolved."""
+        if not self._waiters:
+            return
+        unresolved: List[_Waiter] = []
+        now = time.perf_counter()
+        latency = self.server.stats().latency
+        for waiter in self._waiters:
+            ticket = waiter.ticket
+            if not ticket.done:
+                unresolved.append(waiter)
+                continue
+            if ticket.failed:
+                reply = _error_reply(
+                    "BACKEND_ERROR",
+                    f"decision failed: {ticket._error}",
+                    waiter.request_id,
+                )
+            else:
+                reply = {"ok": True, "action": int(ticket.result())}
+                if waiter.request_id is not None:
+                    reply["id"] = waiter.request_id
+            latency.record(now - waiter.arrived)
+            waiter.connection.inflight -= 1
+            waiter.connection.send(reply, waiter.codec)
+        self._waiters = unresolved
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        self._connections.append(connection)
+        self.connections_total += 1
+        try:
+            while not self._draining:
+                try:
+                    codec, request = await read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                except ConfigurationError:
+                    self.protocol_errors += 1
+                    break
+                self.requests_total += 1
+                self._dispatch(connection, codec, request)
+                if writer.transport.get_write_buffer_size() > 1 << 20:
+                    await writer.drain()
+        finally:
+            await self._close_connection(connection)
+
+    def _dispatch(
+        self, connection: _Connection, codec: int, request: Dict[str, object]
+    ) -> None:
+        request_id = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "decide":
+                self._op_decide(connection, codec, request, request_id)
+            elif op == "open":
+                count = int(request.get("count", 1))
+                slots = self.server.open_sessions(count)
+                generations = self.server.table.generation[slots]
+                handles = [
+                    [int(slot), int(generation)]
+                    for slot, generation in zip(slots, generations)
+                ]
+                self._reply(connection, codec, request_id, handles=handles)
+            elif op == "close":
+                slots, generations = self._parse_handles(request)
+                self.server.close_sessions(slots, expected_generation=generations)
+                self._settle()  # close may have flushed pending requests
+                self._reply(connection, codec, request_id, closed=len(slots))
+            elif op == "stats":
+                self._reply(connection, codec, request_id, stats=self.summary())
+            elif op == "versions":
+                if self.registry is None:
+                    raise ConfigurationError("no artifact registry attached")
+                self._reply(
+                    connection,
+                    codec,
+                    request_id,
+                    active=self.active_version,
+                    versions=self.registry.describe(),
+                )
+            elif op == "swap":
+                version = str(request["version"])
+                entry = self.swap(version, reason=str(request.get("reason", "manual")))
+                self._reply(connection, codec, request_id, swap=entry)
+            elif op == "audit":
+                if self.registry is None:
+                    raise ConfigurationError("no artifact registry attached")
+                self._reply(
+                    connection, codec, request_id, audit=self.registry.audit_trail
+                )
+            elif op == "ping":
+                self._reply(connection, codec, request_id, pong=True)
+            else:
+                connection.send(
+                    _error_reply("BAD_REQUEST", f"unknown op {op!r}", request_id),
+                    codec,
+                )
+        except StaleSessionError as exc:
+            connection.send(_error_reply("STALE_SESSION", str(exc), request_id), codec)
+        except ReproError as exc:
+            connection.send(_error_reply("BAD_REQUEST", str(exc), request_id), codec)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.protocol_errors += 1
+            connection.send(
+                _error_reply("BAD_REQUEST", f"malformed request: {exc}", request_id),
+                codec,
+            )
+
+    def _op_decide(
+        self,
+        connection: _Connection,
+        codec: int,
+        request: Dict[str, object],
+        request_id: object,
+    ) -> None:
+        if self._draining:
+            connection.send(
+                _error_reply("DRAINING", "server is draining", request_id), codec
+            )
+            return
+        if connection.inflight >= self.max_inflight:
+            self.busy_rejections += 1
+            connection.send(
+                _error_reply(
+                    "BUSY",
+                    f"connection has {connection.inflight} requests in flight "
+                    f"(limit {self.max_inflight})",
+                    request_id,
+                ),
+                codec,
+            )
+            return
+        slot, generation = self._parse_handle(request["handle"])
+        raw = np.asarray(request["observation"], dtype=float)
+        arrived = time.perf_counter()
+        try:
+            ticket = self.server.submit(slot, raw, expected_generation=generation)
+        except (StaleSessionError, ConfigurationError):
+            raise
+        except ReproError:
+            # A size-triggered auto-flush hit a backend fault.  The
+            # *queued* tickets were failed (their parked replies settle
+            # below); this request itself was never enqueued.
+            self._settle()
+            raise
+        self._waiters.append(
+            _Waiter(ticket, connection, codec, request_id, arrived)
+        )
+        connection.inflight += 1
+        # The submit may have size-triggered (or same-session-triggered)
+        # a synchronous flush; settle immediately so replies are not
+        # deferred a full timer tick.
+        if ticket.done or self.server.pending == 0:
+            self._settle()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _reply(
+        self, connection: _Connection, codec: int, request_id: object, **fields: object
+    ) -> None:
+        payload: Dict[str, object] = {"ok": True, **fields}
+        if request_id is not None:
+            payload["id"] = request_id
+        connection.send(payload, codec)
+
+    @staticmethod
+    def _parse_handle(handle: object) -> Tuple[int, int]:
+        if (
+            not isinstance(handle, (list, tuple))
+            or len(handle) != 2
+        ):
+            raise ConfigurationError(
+                f"session handle must be a [slot, generation] pair, got {handle!r}"
+            )
+        return int(handle[0]), int(handle[1])
+
+    def _parse_handles(
+        self, request: Dict[str, object]
+    ) -> Tuple[List[int], List[int]]:
+        raw_handles = request.get("handles")
+        if raw_handles is None:
+            raw_handles = [request["handle"]]
+        slots: List[int] = []
+        generations: List[int] = []
+        for handle in raw_handles:
+            slot, generation = self._parse_handle(handle)
+            slots.append(slot)
+            generations.append(generation)
+        return slots, generations
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        if connection.closed:
+            return
+        connection.closed = True
+        if connection in self._connections:
+            self._connections.remove(connection)
+        # Requests this connection is still waiting on keep their queue
+        # slots (the micro-batch must stay intact for everyone else);
+        # their replies are simply dropped at settle time.
+        connection.writer.close()
+        try:
+            await connection.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+class PolicyClient:
+    """Asyncio client for :class:`PolicyNetServer` (pipelining, id-matched).
+
+    Every request carries an auto-assigned ``id``; a background reader
+    task matches replies to futures, so any number of :meth:`decide`
+    calls can be in flight concurrently on one connection (subject to
+    the server's ``BUSY`` back-pressure).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        codec: int = CODEC_JSON,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.codec = codec
+        self._ids = itertools.count(1)
+        self._futures: Dict[object, asyncio.Future] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect_unix(cls, path: str, codec: int = CODEC_JSON) -> "PolicyClient":
+        reader, writer = await asyncio.open_unix_connection(path)
+        return cls(reader, writer, codec)
+
+    @classmethod
+    async def connect_tcp(
+        cls, host: str, port: int, codec: int = CODEC_JSON
+    ) -> "PolicyClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, codec)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        self._fail_pending(ServingError("client closed"))
+
+    async def __aenter__(self) -> "PolicyClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    def _fail_pending(self, error: BaseException) -> None:
+        futures, self._futures = self._futures, {}
+        for future in futures.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                _codec, reply = await read_frame(self._reader)
+                future = self._futures.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (asyncio.IncompleteReadError, ConnectionResetError, ConfigurationError):
+            self._fail_pending(ServingError("connection closed by server"))
+
+    # ------------------------------------------------------------------
+    # Raw request / typed helpers
+    # ------------------------------------------------------------------
+    async def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request and await its id-matched reply (no raising)."""
+        request_id = next(self._ids)
+        payload = {**payload, "id": request_id}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[request_id] = future
+        self._writer.write(encode_frame(payload, self.codec))
+        await self._writer.drain()
+        return await future
+
+    async def _checked(self, payload: Dict[str, object]) -> Dict[str, object]:
+        reply = await self.request(payload)
+        if not reply.get("ok"):
+            code = reply.get("error", "ERROR")
+            if code == "STALE_SESSION":
+                raise StaleSessionError(str(reply.get("message")))
+            raise ServingError(f"{code}: {reply.get('message')}")
+        return reply
+
+    async def open(self, count: int = 1) -> List[Tuple[int, int]]:
+        reply = await self._checked({"op": "open", "count": count})
+        return [(int(s), int(g)) for s, g in reply["handles"]]
+
+    async def decide(
+        self, handle: Sequence[int], observation: Sequence[float]
+    ) -> int:
+        reply = await self._checked(
+            {
+                "op": "decide",
+                "handle": [int(handle[0]), int(handle[1])],
+                "observation": [float(v) for v in observation],
+            }
+        )
+        return int(reply["action"])
+
+    async def close_sessions(self, handles: Sequence[Sequence[int]]) -> int:
+        reply = await self._checked(
+            {"op": "close", "handles": [[int(h[0]), int(h[1])] for h in handles]}
+        )
+        return int(reply["closed"])
+
+    async def stats(self) -> Dict[str, object]:
+        return (await self._checked({"op": "stats"}))["stats"]
+
+    async def versions(self) -> Dict[str, object]:
+        reply = await self._checked({"op": "versions"})
+        return {"active": reply["active"], "versions": reply["versions"]}
+
+    async def swap(self, version: str, reason: str = "manual") -> Dict[str, object]:
+        request = {"op": "swap", "version": version, "reason": reason}
+        return (await self._checked(request))["swap"]
+
+    async def audit(self) -> List[Dict[str, object]]:
+        return (await self._checked({"op": "audit"}))["audit"]
+
+    async def ping(self) -> bool:
+        return bool((await self._checked({"op": "ping"})).get("pong"))

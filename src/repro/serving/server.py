@@ -22,17 +22,18 @@ implements to run a second backend in shadow mode behind the primary.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
 from repro.agents.base import Agent
 from repro.drl.policy import RecurrentPolicyValueNet
 from repro.env.observation import OBSERVATION_DIM, ObservationEncoder
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServingError
 from repro.serving.compiled_fsm import CompiledFSMPolicy
-from repro.serving.sessions import SessionTable
+from repro.serving.sessions import GenerationLike, SessionTable
 from repro.storage.migration import MigrationAction
 
 
@@ -64,6 +65,12 @@ class DecisionBackend(Protocol):
     # compiled artifacts.
     # ``end_sessions(table, slots)`` — release per-session resources
     # when sessions close.
+    # ``session_state_signature()`` — a hashable token describing what
+    # the backend's per-session state *means*.  Two backends with equal
+    # signatures interpret each other's session rows identically, so a
+    # blue/green :meth:`PolicyServer.swap_backend` migrates live state
+    # instead of resetting it.  Return ``None`` (or omit the method) to
+    # always reset on swap.
     # ``act_rollout(observations, hiddens, rngs=..., epsilon=...,
     # greedy=..., active=...)`` — full training-mode batched step
     # (sampled actions, values, explicit hidden rows).  Backends that
@@ -94,6 +101,20 @@ class CompiledFSMBackend:
     def session_table(self, capacity: int) -> SessionTable:
         return SessionTable(capacity=capacity, hidden_size=0)
 
+    def session_state_signature(self) -> Optional[Tuple[str, str]]:
+        """Identity of the compiled state space (rows + start + actions).
+
+        Two compiled artifacts migrate session state only when their
+        state rows *mean the same thing* — same codes in the same order,
+        same emitted actions, same start row.  Re-extracted machines get
+        fresh rows and therefore reset.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.policy.state_codes.tobytes())
+        digest.update(self.policy.action_table.tobytes())
+        digest.update(int(self.policy.start_state).to_bytes(8, "little"))
+        return ("fsm", digest.hexdigest())
+
     def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
         table.state[slots] = self.policy.start_state
 
@@ -118,6 +139,12 @@ class GRUPolicyBackend:
 
     def session_table(self, capacity: int) -> SessionTable:
         return SessionTable(capacity=capacity, hidden_size=self.policy.hidden_dim())
+
+    def session_state_signature(self) -> Optional[Tuple[str, int]]:
+        # A hidden row keeps its meaning across weight updates of the
+        # same architecture (warm start after a fine-tune); only a
+        # dimension change forces a reset.
+        return ("gru", int(self.policy.hidden_dim()))
 
     def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
         table.hidden[slots] = self.policy.initial_hidden_np(slots.shape[0])
@@ -206,24 +233,114 @@ class HeuristicAgentBackend:
 
 
 class DecisionTicket:
-    """Handle for one queued request; resolves at the next flush."""
+    """Handle for one queued request; resolves (or fails) at the next flush."""
 
-    __slots__ = ("session_id", "_action")
+    __slots__ = ("session_id", "_action", "_error")
 
     def __init__(self, session_id: int) -> None:
         self.session_id = int(session_id)
         self._action: Optional[int] = None
+        self._error: Optional[BaseException] = None
 
     @property
     def done(self) -> bool:
-        return self._action is not None
+        """The ticket reached a terminal state (decision *or* failure)."""
+        return self._action is not None or self._error is not None
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+    def fail(self, error: BaseException) -> None:
+        """Mark the ticket terminally failed (backend fault, drain abort)."""
+        if self._action is None and self._error is None:
+            self._error = error
 
     def result(self) -> MigrationAction:
+        if self._error is not None:
+            raise ServingError(
+                f"decision request failed: {self._error}"
+            ) from self._error
         if self._action is None:
             raise ConfigurationError(
                 "decision not available yet — flush() the server first"
             )
         return MigrationAction(self._action)
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram (SLO accounting).
+
+    64 geometric buckets from 1 µs up (factor 1.5 per bucket, covering
+    far past any realistic request latency), plus exact count / sum /
+    max, so recording is O(1), merging is addition, and percentile
+    estimates are conservative (each falls on its bucket's **upper**
+    edge — the SLO-safe direction).
+    """
+
+    NUM_BUCKETS = 64
+    BASE = 1e-6
+    FACTOR = 1.5
+
+    def __init__(self) -> None:
+        # bounds[i] is bucket i's inclusive upper edge; the last bucket
+        # is open-ended.
+        self.bounds = self.BASE * self.FACTOR ** np.arange(self.NUM_BUCKETS - 1)
+        self.counts = np.zeros(self.NUM_BUCKETS, dtype=np.int64)
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        index = int(self.bounds.searchsorted(seconds))
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def record_many(self, seconds: np.ndarray) -> None:
+        seconds = np.asarray(seconds, dtype=float)
+        if seconds.size == 0:
+            return
+        indices = self.bounds.searchsorted(seconds)
+        self.counts += np.bincount(indices, minlength=self.NUM_BUCKETS)
+        self.total += int(seconds.size)
+        self.sum_seconds += float(seconds.sum())
+        self.max_seconds = max(self.max_seconds, float(seconds.max()))
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.sum_seconds / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q``-th percentile (q in [0, 100])."""
+        if self.total == 0:
+            return 0.0
+        rank = max(1, int(np.ceil(self.total * q / 100.0)))
+        cumulative = np.cumsum(self.counts)
+        index = int(cumulative.searchsorted(rank))
+        if index >= self.bounds.shape[0]:
+            return self.max_seconds
+        return float(min(self.bounds[index], self.max_seconds))
+
+    def fraction_within(self, slo_seconds: float) -> float:
+        """Fraction of requests at or under ``slo_seconds`` (conservative)."""
+        if self.total == 0:
+            return 1.0
+        index = int(self.bounds.searchsorted(slo_seconds, side="right"))
+        within = int(self.counts[:index].sum())
+        return within / self.total
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.total,
+            "mean_ms": round(self.mean_seconds * 1e3, 4),
+            "p50_ms": round(self.percentile(50) * 1e3, 4),
+            "p95_ms": round(self.percentile(95) * 1e3, 4),
+            "p99_ms": round(self.percentile(99) * 1e3, 4),
+            "max_ms": round(self.max_seconds * 1e3, 4),
+        }
 
 
 @dataclass
@@ -233,9 +350,15 @@ class ServerStats:
     decisions: int = 0
     batches: int = 0
     max_batch: int = 0
+    failed: int = 0
+    swaps: int = 0
     action_counts: np.ndarray = field(
         default_factory=lambda: np.zeros(len(MigrationAction), dtype=np.int64)
     )
+    # Per-request latency SLO histogram.  The in-process broker has no
+    # request timestamps of its own; the network front door (and any
+    # other timed caller) records arrival-to-reply latencies here.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def mean_batch_size(self) -> float:
@@ -247,7 +370,10 @@ class ServerStats:
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "max_batch": self.max_batch,
+            "failed": self.failed,
+            "swaps": self.swaps,
             "action_counts": self.action_counts.tolist(),
+            "latency": self.latency.as_dict(),
         }
 
 
@@ -305,8 +431,12 @@ class PolicyServer:
     def open_session(self) -> int:
         return int(self.open_sessions(1)[0])
 
-    def close_sessions(self, session_ids) -> None:
-        slots = self.table.checked_slots(session_ids)
+    def close_sessions(
+        self, session_ids, expected_generation: Optional[GenerationLike] = None
+    ) -> None:
+        slots = self.table.checked_slots(
+            session_ids, unique=True, expected_generation=expected_generation
+        )
         still_pending = [s for s in slots.tolist() if s in self._pending_set]
         if still_pending:
             self.flush()
@@ -318,14 +448,23 @@ class PolicyServer:
     # ------------------------------------------------------------------
     # Queued path
     # ------------------------------------------------------------------
-    def submit(self, session_id: int, raw_observation: np.ndarray) -> DecisionTicket:
+    def submit(
+        self,
+        session_id: int,
+        raw_observation: np.ndarray,
+        expected_generation: Optional[int] = None,
+    ) -> DecisionTicket:
         """Queue one request; auto-flush when the micro-batch fills."""
         raw = np.asarray(raw_observation, dtype=float)
         if raw.shape != (OBSERVATION_DIM,):
             raise ConfigurationError(
                 f"raw observation must have shape ({OBSERVATION_DIM},), got {raw.shape}"
             )
-        slot = int(self.table.checked_slots(session_id)[0])
+        slot = int(
+            self.table.checked_slots(
+                session_id, expected_generation=expected_generation
+            )[0]
+        )
         if slot in self._pending_set:
             self.flush()
         ticket = DecisionTicket(slot)
@@ -338,7 +477,15 @@ class PolicyServer:
         return ticket
 
     def flush(self) -> int:
-        """Serve every queued request in one backend call; returns the count."""
+        """Serve every queued request in one backend call; returns the count.
+
+        A backend fault cannot strand tickets: the queue is detached
+        first, and if the backend raises, every detached ticket is
+        failed explicitly (``ticket.failed``/``result()`` raises
+        :class:`~repro.errors.ServingError`) before the exception
+        propagates — the server itself stays consistent and keeps
+        serving subsequent batches.
+        """
         if not self._pending_slots:
             return 0
         slots = np.array(self._pending_slots, dtype=np.int64)
@@ -348,7 +495,13 @@ class PolicyServer:
         self._pending_raw = []
         self._pending_tickets = []
         self._pending_set = set()
-        actions = self._decide(slots, raw)
+        try:
+            actions = self._decide(slots, raw)
+        except Exception as exc:
+            for ticket in tickets:
+                ticket.fail(exc)
+            self._stats.failed += len(tickets)
+            raise
         for ticket, action in zip(tickets, actions.tolist()):
             ticket._action = int(action)
         return int(actions.shape[0])
@@ -360,17 +513,30 @@ class PolicyServer:
     # ------------------------------------------------------------------
     # Direct path
     # ------------------------------------------------------------------
-    def decide_now(self, session_ids, raw_matrix: np.ndarray) -> np.ndarray:
+    def decide_now(
+        self,
+        session_ids,
+        raw_matrix: np.ndarray,
+        expected_generation: Optional[GenerationLike] = None,
+    ) -> np.ndarray:
         """Serve one already-assembled batch (row i answers session i)."""
-        slots = self.table.checked_slots(session_ids)
+        # ``unique=True`` is the O(batch) duplicate check — the previous
+        # ``np.bincount(slots).max()`` scanned the whole table capacity
+        # per call, which dominated small batches on big tables.
+        slots = self.table.checked_slots(
+            session_ids, unique=True, expected_generation=expected_generation
+        )
         raw = np.asarray(raw_matrix, dtype=float)
         if raw.ndim != 2 or raw.shape[0] != slots.shape[0]:
             raise ConfigurationError(
                 f"raw matrix must have one row per session, got {raw.shape} "
                 f"for {slots.shape[0]} sessions"
             )
-        if slots.shape[0] > 1 and np.bincount(slots).max() > 1:
-            raise ConfigurationError("decide_now batches need distinct sessions")
+        if raw.shape[1] != OBSERVATION_DIM:
+            raise ConfigurationError(
+                f"raw matrix must have {OBSERVATION_DIM} columns "
+                f"(one observation per row), got {raw.shape[1]}"
+            )
         return self._decide(slots, raw)
 
     # ------------------------------------------------------------------
@@ -395,3 +561,63 @@ class PolicyServer:
 
     def stats(self) -> ServerStats:
         return self._stats
+
+    # ------------------------------------------------------------------
+    # Blue/green backend swap
+    # ------------------------------------------------------------------
+    def swap_backend(self, backend: DecisionBackend) -> Dict[str, object]:
+        """Replace the live backend, preserving every open session handle.
+
+        The blue/green core: the pending micro-batch is drained through
+        the *old* backend first (no ticket is lost or answered by a
+        half-installed engine), then the new backend gets a session
+        table with the old table's slot allocation adopted verbatim —
+        slots, generations and step counters all keep their meaning, so
+        clients never observe the swap except through the admin audit
+        record this returns.
+
+        Per-session decision state is **migrated** when old and new
+        backends report equal ``session_state_signature()`` tokens
+        (same state semantics), and **reset** via the new backend's
+        ``begin_sessions`` otherwise.  An incompatible observation
+        encoder aborts the swap before any state changes.
+        """
+        check_encoder = getattr(backend, "check_encoder", None)
+        if check_encoder is not None:
+            check_encoder(self.encoder)  # abort-before-mutate
+        flushed = self.flush()
+        old_backend, old_table = self.backend, self.table
+        new_table = backend.session_table(old_table.capacity)
+        new_table.ensure_capacity(old_table.capacity)
+        new_table.adopt_allocation(old_table)
+        active = old_table.active_slots()
+
+        old_signature = getattr(old_backend, "session_state_signature", None)
+        new_signature = getattr(backend, "session_state_signature", None)
+        migrated = (
+            old_signature is not None
+            and new_signature is not None
+            and old_signature() is not None
+            and old_signature() == new_signature()
+        )
+        if active.size:
+            if migrated:
+                new_table.state[active] = old_table.state[active]
+                if new_table.hidden is not None and old_table.hidden is not None:
+                    new_table.hidden[active] = old_table.hidden[active]
+            else:
+                backend.begin_sessions(new_table, active)
+        end_sessions = getattr(old_backend, "end_sessions", None)
+        if end_sessions is not None:
+            end_sessions(old_table, active)
+
+        self.backend = backend
+        self.table = new_table
+        self._stats.swaps += 1
+        return {
+            "from_backend": old_backend.name,
+            "to_backend": backend.name,
+            "flushed_pending": int(flushed),
+            "active_sessions": int(active.size),
+            "state": "migrated" if migrated else "reset",
+        }

@@ -24,9 +24,10 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleSessionError
 
 SlotLike = Union[int, np.integer, Sequence[int], np.ndarray]
+GenerationLike = Union[int, np.integer, Sequence[int], np.ndarray]
 
 
 class SessionTable:
@@ -116,21 +117,57 @@ class SessionTable:
         self.total_opened += count
         return slots
 
-    def close(self, slots: SlotLike) -> None:
-        """Release session slots back to the free list."""
-        slots = self._check_slots(slots)
+    def close(
+        self, slots: SlotLike, expected_generation: Optional[GenerationLike] = None
+    ) -> None:
+        """Release session slots back to the free list.
+
+        Duplicate slots in one call are rejected: closing ``[3, 3]``
+        would push slot 3 onto the free list twice and hand it out to
+        two different sessions later.
+        """
+        slots = self._check_slots(
+            slots, unique=True, expected_generation=expected_generation
+        )
         self.active[slots] = False
         self.generation[slots] += 1
         self._free.extend(int(s) for s in slots)
         self._num_active -= len(slots)
         self.total_closed += len(slots)
 
+    def adopt_allocation(self, other: "SessionTable") -> None:
+        """Take over ``other``'s slot allocation (blue/green backend swap).
+
+        Copies everything that defines *which* sessions exist — the
+        active mask, free list, generations, step counters and open/close
+        totals — but not the per-session decision state (``state`` /
+        ``hidden``), which the new backend either migrates or re-seeds.
+        The two tables must have equal capacity (grow first).
+        """
+        if other.capacity != self._capacity:
+            raise ConfigurationError(
+                f"cannot adopt allocation across capacities "
+                f"({other.capacity} -> {self._capacity}); grow the target first"
+            )
+        self.active[:] = other.active
+        self.generation[:] = other.generation
+        self.steps[:] = other.steps
+        self._free = list(other._free)
+        self._num_active = other._num_active
+        self.total_opened = other.total_opened
+        self.total_closed = other.total_closed
+
     def record_steps(self, slots: SlotLike) -> None:
         """Count one served decision against each of ``slots``."""
         slots = self._check_slots(slots)
         self.steps[slots] += 1
 
-    def _check_slots(self, slots: SlotLike) -> np.ndarray:
+    def _check_slots(
+        self,
+        slots: SlotLike,
+        unique: bool = False,
+        expected_generation: Optional[GenerationLike] = None,
+    ) -> np.ndarray:
         slots = np.atleast_1d(np.asarray(slots, dtype=np.int64))
         if slots.size == 0:
             return slots
@@ -143,11 +180,44 @@ class SessionTable:
             raise ConfigurationError(
                 f"sessions {inactive.tolist()} are not open (closed slot reused?)"
             )
+        if unique and slots.size > 1:
+            # O(batch) duplicate detection — never scans the table.
+            seen = set()
+            duplicates = [
+                s for s in slots.tolist() if s in seen or seen.add(s)
+            ]
+            if duplicates:
+                raise ConfigurationError(
+                    f"duplicate session slots in one call: {sorted(set(duplicates))}"
+                )
+        if expected_generation is not None:
+            expected = np.broadcast_to(
+                np.asarray(expected_generation, dtype=np.int64), slots.shape
+            )
+            stale = slots[self.generation[slots] != expected]
+            if stale.size:
+                raise StaleSessionError(
+                    f"stale session handles for slots {stale.tolist()}: the "
+                    "slot was closed (and possibly reopened by another "
+                    "session) since the handle was issued"
+                )
         return slots
 
-    def checked_slots(self, slots: SlotLike) -> np.ndarray:
-        """Validate ``slots`` refer to open sessions and return them as an array."""
-        return self._check_slots(slots)
+    def checked_slots(
+        self,
+        slots: SlotLike,
+        unique: bool = False,
+        expected_generation: Optional[GenerationLike] = None,
+    ) -> np.ndarray:
+        """Validate ``slots`` refer to open sessions and return them as an array.
+
+        ``unique=True`` additionally rejects duplicate slots (O(batch));
+        ``expected_generation`` (scalar or per-slot array) rejects stale
+        handles whose slot was recycled since they were issued.
+        """
+        return self._check_slots(
+            slots, unique=unique, expected_generation=expected_generation
+        )
 
     def __len__(self) -> int:
         return self._num_active

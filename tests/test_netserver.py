@@ -1,0 +1,524 @@
+"""Tests for the asyncio network front door + artifact hot-swap layer.
+
+Each test drives a real server over a real transport (unix socket in a
+short-named temp dir, or TCP loopback) with the real framing client;
+``asyncio.run`` keeps the suite free of event-loop plugins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.errors import ConfigurationError, ServingError, StaleSessionError
+from repro.fsm.machine import FiniteStateMachine
+from repro.qbn.autoencoder import build_observation_qbn
+from repro.qbn.quantize import code_key
+from repro.serving import (
+    ArtifactRegistry,
+    CompiledFSMBackend,
+    CompiledFSMPolicy,
+    FidelityAlarm,
+    GRUPolicyBackend,
+    PolicyClient,
+    PolicyNetServer,
+    PolicyServer,
+    ShadowEvaluator,
+)
+from repro.serving.netserver import CODEC_JSON, decode_body, encode_frame, msgpack
+from repro.storage.migration import NUM_ACTIONS, MigrationAction
+from repro.storage.simulator import StorageSystemConfig
+from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+
+
+# ----------------------------------------------------------------------
+# Shared small artefacts (mirrors test_serving.py's handmade machine)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_env():
+    return StorageAllocationEnv(
+        StorageSystemConfig(), reward_config=RewardConfig(mode="per_step_penalty"), rng=0
+    )
+
+
+@pytest.fixture(scope="module")
+def observation_stream(serving_env):
+    generator = StandardWorkloadGenerator(
+        serving_env.system_config, GeneratorConfig(), rng=0
+    )
+    trace = generator.generate("web_server", duration=24)
+    rng = np.random.default_rng(9)
+    observation = serving_env.reset(trace)
+    rows = []
+    while True:
+        rows.append(observation.raw())
+        result = serving_env.step(MigrationAction(int(rng.integers(NUM_ACTIONS))))
+        observation = result.observation
+        if result.done:
+            break
+    return np.array(rows)
+
+
+@pytest.fixture(scope="module")
+def compiled_policy(serving_env, observation_stream):
+    rng = np.random.default_rng(3)
+    qbn = build_observation_qbn(35, latent_dim=6, hidden_dim=16, rng=4)
+    fsm = FiniteStateMachine()
+    codes = []
+    while len(codes) < 4:
+        code = tuple(int(c) for c in rng.integers(0, 3, size=5))
+        if code not in fsm.states:
+            state = fsm.add_state(code, MigrationAction(int(rng.integers(NUM_ACTIONS))))
+            state.visit_count = int(rng.integers(20))
+            codes.append(code)
+    normalized = serving_env.observation_encoder.normalize_batch(observation_stream)
+    for vector in normalized[:5]:
+        key = code_key(qbn.discrete_code(vector))
+        if key not in fsm.observation_prototypes:
+            fsm.observation_prototypes[key] = np.asarray(vector, float)
+    observation_keys = list(fsm.observation_prototypes)
+    for _ in range(20):
+        fsm.add_transition(
+            codes[int(rng.integers(len(codes)))],
+            observation_keys[int(rng.integers(len(observation_keys)))],
+            codes[int(rng.integers(len(codes)))],
+        )
+    fsm.initial_state = codes[1]
+    fsm.validate()
+    return CompiledFSMPolicy.compile(fsm, qbn, encoder=serving_env.observation_encoder)
+
+
+def _gru_policy() -> RecurrentPolicyValueNet:
+    return RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=5)
+
+
+class _socket_dir:
+    """Short-path socket dir (unix socket paths are length-limited)."""
+
+    def __enter__(self) -> str:
+        self.path = tempfile.mkdtemp(prefix="rnet", dir="/tmp")
+        return os.path.join(self.path, "s.sock")
+
+    def __exit__(self, *_exc) -> None:
+        import shutil
+
+        shutil.rmtree(self.path, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_json_roundtrip(self):
+        payload = {"op": "decide", "id": 7, "observation": [1.0, 2.5]}
+        frame = encode_frame(payload, CODEC_JSON)
+        codec, length = frame[0], int.from_bytes(frame[1:5], "big")
+        assert codec == CODEC_JSON and length == len(frame) - 5
+        assert decode_body(codec, frame[5:]) == payload
+
+    def test_msgpack_roundtrip_or_gated(self):
+        payload = {"op": "ping", "id": 1}
+        if msgpack is None:
+            with pytest.raises(ConfigurationError, match="msgpack"):
+                encode_frame(payload, 1)
+        else:
+            frame = encode_frame(payload, 1)
+            assert decode_body(1, frame[5:]) == payload
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_frame({"op": "ping"}, 9)
+
+
+# ----------------------------------------------------------------------
+# Network front door
+# ----------------------------------------------------------------------
+class TestNetServer:
+    def test_concurrent_clients_bit_identical_to_inprocess(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """Multi-client socket decisions replay the in-process broker."""
+
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy),
+                serving_env.observation_encoder,
+                max_batch_size=8,
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.001)
+            reference = PolicyServer(
+                CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+            )
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                clients = [
+                    await PolicyClient.connect_unix(socket_path) for _ in range(4)
+                ]
+                try:
+                    handles = [await client.open(4) for client in clients]
+                    # One reference session per network session, replaying
+                    # the same per-session observation stream.
+                    streams = {}
+                    reference_ids = {}
+                    for c, client_handles in enumerate(handles):
+                        for s, handle in enumerate(client_handles):
+                            streams[handle] = (c * 4 + s) * 5
+                            reference_ids[handle] = int(reference.open_sessions(1)[0])
+                    for step in range(5):
+                        requests = []
+                        for c, client in enumerate(clients):
+                            for handle in handles[c]:
+                                row = (streams[handle] + step) % len(observation_stream)
+                                requests.append(
+                                    (handle, client.decide(handle, observation_stream[row]), row)
+                                )
+                        actions = await asyncio.gather(*[r[1] for r in requests])
+                        for (handle, _req, row), action in zip(requests, actions):
+                            expected = reference.decide_now(
+                                [reference_ids[handle]],
+                                observation_stream[None, row],
+                            )
+                            assert action == int(expected[0])
+                    stats = await clients[0].stats()
+                    assert stats["decisions"] == 5 * 16
+                    assert stats["failed"] == 0
+                    assert stats["batches"] >= 1
+                    assert stats["latency"]["count"] == 5 * 16
+                    assert stats["latency"]["p99_ms"] > 0
+                finally:
+                    for client in clients:
+                        await client.close()
+                summary = await netserver.drain()
+                assert summary["parked_replies"] == 0
+                assert summary["pending"] == 0
+
+        asyncio.run(scenario())
+
+    def test_tcp_transport(self, compiled_policy, serving_env, observation_stream):
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.001)
+            endpoints = await netserver.start(host="127.0.0.1")
+            host, port = endpoints["tcp"]
+            async with await PolicyClient.connect_tcp(host, port) as client:
+                assert await client.ping()
+                (handle,) = await client.open(1)
+                action = await client.decide(handle, observation_stream[0])
+                assert 0 <= action < NUM_ACTIONS
+            await netserver.drain()
+
+        asyncio.run(scenario())
+
+    def test_backpressure_busy_replies(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """Requests beyond the per-connection in-flight bound get BUSY."""
+
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            # Huge flush interval: only explicit drain flushes, so
+            # requests genuinely accumulate in flight.
+            netserver = PolicyNetServer(server, flush_interval=30.0, max_inflight=3)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                client = await PolicyClient.connect_unix(socket_path)
+                handles = await client.open(8)
+                tasks = [
+                    asyncio.create_task(
+                        client.request(
+                            {
+                                "op": "decide",
+                                "handle": list(handle),
+                                "observation": observation_stream[i].tolist(),
+                            }
+                        )
+                    )
+                    for i, handle in enumerate(handles)
+                ]
+                # Give the server time to park the first 3 and reject the rest.
+                await asyncio.sleep(0.1)
+                assert netserver.busy_rejections == 5
+                summary = await netserver.drain()
+                replies = await asyncio.gather(*tasks)
+                accepted = [r for r in replies if r.get("ok")]
+                busy = [r for r in replies if r.get("error") == "BUSY"]
+                assert len(accepted) == 3 and len(busy) == 5
+                assert all(0 <= r["action"] < NUM_ACTIONS for r in accepted)
+                assert summary["busy_rejections"] == 5
+                assert summary["parked_replies"] == 0
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_graceful_drain_resolves_mid_batch_requests(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """Drain answers queued requests instead of dropping them."""
+
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            netserver = PolicyNetServer(server, flush_interval=30.0)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                client = await PolicyClient.connect_unix(socket_path)
+                handles = await client.open(3)
+                tasks = [
+                    asyncio.create_task(
+                        client.decide(handle, observation_stream[i])
+                    )
+                    for i, handle in enumerate(handles)
+                ]
+                await asyncio.sleep(0.05)
+                assert server.pending == 3  # parked, mid-batch
+                summary = await netserver.drain()
+                actions = await asyncio.gather(*tasks)
+                assert all(0 <= action < NUM_ACTIONS for action in actions)
+                assert summary["pending"] == 0
+                assert summary["parked_replies"] == 0
+                assert summary["failed"] == 0
+                # Listener is gone: new connections are refused.
+                with pytest.raises((ConnectionRefusedError, FileNotFoundError)):
+                    await PolicyClient.connect_unix(socket_path)
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_stale_handle_rejected_after_slot_reuse(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.001)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                async with await PolicyClient.connect_unix(socket_path) as client:
+                    (stale,) = await client.open(1)
+                    await client.close_sessions([stale])
+                    (fresh,) = await client.open(1)
+                    # LIFO free list: the slot is reused, generation bumped.
+                    assert fresh[0] == stale[0] and fresh[1] == stale[1] + 1
+                    with pytest.raises(StaleSessionError):
+                        await client.decide(stale, observation_stream[0])
+                    action = await client.decide(fresh, observation_stream[0])
+                    assert 0 <= action < NUM_ACTIONS
+                await netserver.drain()
+
+        asyncio.run(scenario())
+
+    def test_hot_swap_under_load_with_fidelity_alarm(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """Alarm-driven blue/green swap under live traffic, zero lost tickets.
+
+        v1 serves the compiled FSM with the GRU in shadow; their
+        divergence trips the fidelity alarm mid-stream, which hot-swaps
+        to v2 (the GRU itself).  Every request before, during and after
+        the swap resolves with a real decision.
+        """
+
+        async def scenario():
+            policy = _gru_policy()
+            registry = ArtifactRegistry()
+            shadowed = ShadowEvaluator(
+                CompiledFSMBackend(compiled_policy), GRUPolicyBackend(policy)
+            )
+            registry.register_backend("v1", shadowed, kind="shadowed_compiled_fsm")
+            registry.register_backend("v2", GRUPolicyBackend(policy))
+            server = PolicyServer(
+                shadowed, serving_env.observation_encoder, max_batch_size=16
+            )
+            alarm = FidelityAlarm(shadowed, threshold=0.999, min_decisions=40)
+            netserver = PolicyNetServer(
+                server,
+                registry=registry,
+                active_version="v1",
+                flush_interval=0.001,
+                alarm=alarm,
+                alarm_swap_to="v2",
+            )
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                async with await PolicyClient.connect_unix(socket_path) as client:
+                    handles = await client.open(10)
+                    for step in range(12):
+                        actions = await asyncio.gather(
+                            *[
+                                client.decide(
+                                    handle,
+                                    observation_stream[
+                                        (i * 7 + step) % len(observation_stream)
+                                    ],
+                                )
+                                for i, handle in enumerate(handles)
+                            ]
+                        )
+                        assert all(0 <= action < NUM_ACTIONS for action in actions)
+                    stats = await client.stats()
+                    # The alarm must have tripped (the handmade FSM and the
+                    # random GRU disagree heavily) and auto-swapped to v2.
+                    assert stats["active_version"] == "v2"
+                    assert stats["backend"] == "gru"
+                    assert stats["swaps"] == 1
+                    assert stats["decisions"] == 120
+                    assert stats["failed"] == 0
+                    audit = await client.audit()
+                    events = [entry["event"] for entry in audit]
+                    assert events == ["fidelity_alarm", "swap"]
+                    swap_entry = audit[-1]
+                    assert swap_entry["reason"] == "fidelity_alarm"
+                    assert swap_entry["from_version"] == "v1"
+                    assert swap_entry["to_version"] == "v2"
+                    assert swap_entry["state"] == "reset"
+                    # Old handles still serve after the swap.
+                    action = await client.decide(handles[0], observation_stream[0])
+                    assert 0 <= action < NUM_ACTIONS
+                summary = await netserver.drain()
+                assert summary["parked_replies"] == 0
+                # The alarm was disarmed by the swap (shadow no longer mounted).
+                assert netserver.alarm is None
+
+        asyncio.run(scenario())
+
+    def test_manual_swap_and_versions_listing(
+        self, compiled_policy, serving_env, observation_stream, tmp_path
+    ):
+        """Manual blue/green swap between two on-disk artifact versions."""
+
+        async def scenario():
+            artifact_path = tmp_path / "fsm_v1.npz"
+            compiled_policy.save(artifact_path)
+            registry = ArtifactRegistry()
+            registry.register_compiled_fsm("v1", artifact_path)
+            registry.register_backend("v2", GRUPolicyBackend(_gru_policy()))
+            server = PolicyServer(
+                registry.get("v1"), serving_env.observation_encoder
+            )
+            netserver = PolicyNetServer(
+                server, registry=registry, active_version="v1", flush_interval=0.001
+            )
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                async with await PolicyClient.connect_unix(socket_path) as client:
+                    handles = await client.open(4)
+                    for i, handle in enumerate(handles):
+                        await client.decide(handle, observation_stream[i])
+                    listing = await client.versions()
+                    assert listing["active"] == "v1"
+                    assert {v["version"] for v in listing["versions"]} == {"v1", "v2"}
+                    entry = await client.swap("v2")
+                    assert entry["to_backend"] == "gru"
+                    assert (await client.versions())["active"] == "v2"
+                    # Unknown versions are rejected without disturbing service.
+                    with pytest.raises(ServingError, match="unknown artifact"):
+                        await client.swap("v9")
+                    action = await client.decide(handles[0], observation_stream[0])
+                    assert 0 <= action < NUM_ACTIONS
+                await netserver.drain()
+
+        asyncio.run(scenario())
+
+    def test_bad_requests_get_error_replies_not_disconnects(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.001)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                async with await PolicyClient.connect_unix(socket_path) as client:
+                    reply = await client.request({"op": "frobnicate"})
+                    assert reply["error"] == "BAD_REQUEST"
+                    reply = await client.request(
+                        {"op": "decide", "handle": [99, 0],
+                         "observation": observation_stream[0].tolist()}
+                    )
+                    assert reply["error"] == "BAD_REQUEST"
+                    reply = await client.request({"op": "swap", "version": "v1"})
+                    assert reply["error"] == "BAD_REQUEST"  # no registry attached
+                    # The connection survived all of it.
+                    assert await client.ping()
+                await netserver.drain()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Artifact registry
+# ----------------------------------------------------------------------
+class TestArtifactRegistry:
+    def test_lazy_load_and_duplicate_rejection(self, compiled_policy, tmp_path):
+        path = tmp_path / "artifact.npz"
+        compiled_policy.save(path)
+        registry = ArtifactRegistry()
+        registry.register_compiled_fsm("2026-08-01", path)
+        record = registry.record("2026-08-01")
+        assert not record.loaded  # lazy until first get()
+        backend = registry.get("2026-08-01")
+        assert record.loaded
+        assert registry.get("2026-08-01") is backend  # cached
+        assert backend.policy.num_states == compiled_policy.num_states
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register_backend("2026-08-01", backend)
+        with pytest.raises(ConfigurationError, match="unknown artifact"):
+            registry.get("nope")
+
+    def test_policy_checkpoint_roundtrip(self, tmp_path, serving_env, observation_stream):
+        from repro.drl.checkpoints import save_policy
+
+        policy = _gru_policy()
+        path = tmp_path / "policy.npz"
+        save_policy(path, policy)
+        registry = ArtifactRegistry()
+        registry.register_policy_checkpoint("gru-v1", path)
+        backend = registry.get("gru-v1")
+        server = PolicyServer(backend, serving_env.observation_encoder)
+        reference = PolicyServer(
+            GRUPolicyBackend(policy), serving_env.observation_encoder
+        )
+        ids = server.open_sessions(2)
+        reference_ids = reference.open_sessions(2)
+        for step in range(4):
+            batch = np.tile(observation_stream[step], (2, 1))
+            assert np.array_equal(
+                server.decide_now(ids, batch),
+                reference.decide_now(reference_ids, batch),
+            )
+
+    def test_swap_appends_audit_with_migration_decision(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        registry = ArtifactRegistry()
+        registry.register_backend("blue", CompiledFSMBackend(compiled_policy))
+        registry.register_backend("green", CompiledFSMBackend(compiled_policy))
+        registry.register_backend("gru", GRUPolicyBackend(_gru_policy()))
+        server = PolicyServer(registry.get("blue"), serving_env.observation_encoder)
+        ids = server.open_sessions(3)
+        server.decide_now(ids, observation_stream[:3])
+        first = registry.swap(server, "green", from_version="blue")
+        assert first["state"] == "migrated"  # identical compiled tables
+        second = registry.swap(server, "gru", from_version="green")
+        assert second["state"] == "reset"
+        assert [entry["seq"] for entry in registry.audit_trail] == [0, 1]
+        assert registry.audit_trail[0]["to_version"] == "green"
+        assert registry.audit_trail[1]["from_version"] == "green"

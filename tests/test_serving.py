@@ -9,7 +9,7 @@ from repro.agents.greedy import GreedyUtilizationPolicy
 from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
 from repro.env.environment import StorageAllocationEnv
 from repro.env.reward import RewardConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServingError, StaleSessionError
 from repro.fsm.machine import FiniteStateMachine
 from repro.qbn.autoencoder import build_observation_qbn
 from repro.qbn.quantize import code_key
@@ -18,6 +18,7 @@ from repro.serving import (
     CompiledFSMPolicy,
     GRUPolicyBackend,
     HeuristicAgentBackend,
+    LatencyHistogram,
     PolicyServer,
     SessionTable,
     ShadowEvaluator,
@@ -154,6 +155,54 @@ class TestSessionTable:
             SessionTable(capacity=0)
         with pytest.raises(ConfigurationError):
             SessionTable(hidden_size=-1)
+
+    def test_duplicate_close_rejected(self):
+        """close([s, s]) must not double-push s onto the free list."""
+        table = SessionTable(capacity=4)
+        slots = table.open(3)
+        victim = int(slots[1])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            table.close([victim, victim])
+        # The failed close changed nothing.
+        assert table.num_active == 3
+        assert bool(table.active[victim])
+        # A clean close + reopen cycle hands out each slot exactly once.
+        table.close([victim])
+        reopened = table.open(2)
+        assert len(set(reopened.tolist())) == 2
+        all_active = table.active_slots().tolist()
+        assert len(all_active) == len(set(all_active)) == table.num_active
+
+    def test_generation_checked_handles(self):
+        table = SessionTable(capacity=4)
+        slot = int(table.open(1)[0])
+        generation = int(table.generation[slot])
+        assert table.checked_slots(slot, expected_generation=generation).tolist() == [slot]
+        table.close([slot])
+        reused = int(table.open(1)[0])
+        assert reused == slot  # LIFO free list reuses the slot...
+        with pytest.raises(StaleSessionError):
+            # ...so the old handle's generation no longer matches.
+            table.checked_slots(slot, expected_generation=generation)
+        assert table.checked_slots(
+            slot, expected_generation=generation + 1
+        ).tolist() == [slot]
+
+    def test_adopt_allocation_preserves_slot_layout(self):
+        source = SessionTable(capacity=8, hidden_size=2)
+        slots = source.open(5)
+        source.close(slots[1:3])
+        target = SessionTable(capacity=8, hidden_size=0)
+        target.adopt_allocation(source)
+        assert target.num_active == source.num_active
+        assert target.active_slots().tolist() == source.active_slots().tolist()
+        assert target.generation.tolist() == source.generation.tolist()
+        # Free-list order is preserved: the next opens reuse what the
+        # source would have reused.
+        assert target.open(2).tolist() == source.open(2).tolist()
+        mismatched = SessionTable(capacity=4)
+        with pytest.raises(ConfigurationError):
+            mismatched.adopt_allocation(source)
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +392,241 @@ class TestPolicyServer:
             expected = int(reference.act(encoder.split_raw(raw)))
             served = server.decide_now(ids, np.tile(raw, (2, 1)))
             assert served.tolist() == [expected, expected]
+
+
+class _FaultyBackend:
+    """Wraps a real backend; raises on decide while ``failures`` > 0."""
+
+    def __init__(self, inner, failures: int = 1) -> None:
+        self.inner = inner
+        self.failures = failures
+        self.name = f"faulty({inner.name})"
+
+    def session_table(self, capacity):
+        return self.inner.session_table(capacity)
+
+    def begin_sessions(self, table, slots):
+        self.inner.begin_sessions(table, slots)
+
+    def decide(self, table, slots, raw, normalized):
+        if self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError("injected backend fault")
+        return self.inner.decide(table, slots, raw, normalized)
+
+
+class TestPolicyServerLifecycleBugs:
+    def test_backend_fault_fails_tickets_instead_of_stranding(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            _FaultyBackend(CompiledFSMBackend(compiled_policy)),
+            serving_env.observation_encoder,
+            max_batch_size=64,
+        )
+        ids = server.open_sessions(3)
+        tickets = [
+            server.submit(int(session), observation_stream[i])
+            for i, session in enumerate(ids)
+        ]
+        with pytest.raises(RuntimeError, match="injected"):
+            server.flush()
+        # No ticket is stranded: all are terminally failed.
+        assert all(t.done and t.failed for t in tickets)
+        for ticket in tickets:
+            with pytest.raises(ServingError, match="injected"):
+                ticket.result()
+        # Server state is consistent: nothing pending, and the same
+        # sessions can submit again immediately (no stale _pending_set).
+        assert server.pending == 0
+        assert server._pending_set == set()
+        assert server.stats().failed == 3
+        retry = [
+            server.submit(int(session), observation_stream[i])
+            for i, session in enumerate(ids)
+        ]
+        assert server.flush() == 3
+        assert all(t.done and not t.failed for t in retry)
+        assert isinstance(retry[0].result(), MigrationAction)
+
+    def test_decide_now_validates_column_count(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        session = server.open_session()
+        with pytest.raises(ConfigurationError, match="columns"):
+            server.decide_now([session], observation_stream[:1, :10])
+
+    def test_decide_now_duplicate_check_on_large_table(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """The uniqueness check is per batch, not per table capacity."""
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy),
+            serving_env.observation_encoder,
+            initial_capacity=1 << 15,
+        )
+        ids = server.open_sessions(3)
+        actions = server.decide_now(ids, observation_stream[:3])
+        assert actions.shape == (3,)
+        with pytest.raises(ConfigurationError):
+            server.decide_now(
+                [ids[0], ids[0]], np.tile(observation_stream[0], (2, 1))
+            )
+
+    def test_generation_checked_submit_and_close(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        session = server.open_session()
+        generation = int(server.table.generation[session])
+        ticket = server.submit(
+            session, observation_stream[0], expected_generation=generation
+        )
+        server.flush()
+        assert ticket.done
+        server.close_sessions([session], expected_generation=[generation])
+        reused = server.open_session()
+        assert reused == session
+        with pytest.raises(StaleSessionError):
+            server.submit(
+                session, observation_stream[0], expected_generation=generation
+            )
+        with pytest.raises(StaleSessionError):
+            server.decide_now(
+                [session], observation_stream[:1], expected_generation=[generation]
+            )
+        with pytest.raises(StaleSessionError):
+            server.close_sessions([session], expected_generation=[generation])
+
+    def test_close_sessions_rejects_duplicates(
+        self, compiled_policy, serving_env
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        session = server.open_session()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            server.close_sessions([session, session])
+        assert server.table.num_active == 1
+
+
+class TestSwapBackend:
+    def test_swap_same_artifact_migrates_state(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        encoder = serving_env.observation_encoder
+        server = PolicyServer(CompiledFSMBackend(compiled_policy), encoder)
+        control = PolicyServer(CompiledFSMBackend(compiled_policy), encoder)
+        ids = server.open_sessions(4)
+        control_ids = control.open_sessions(4)
+        for step in range(3):
+            batch = np.tile(observation_stream[step], (4, 1))
+            server.decide_now(ids, batch)
+            control.decide_now(control_ids, batch)
+        audit = server.swap_backend(CompiledFSMBackend(compiled_policy))
+        assert audit["state"] == "migrated"
+        assert audit["active_sessions"] == 4
+        # Migrated state: the swapped server continues exactly where the
+        # unswapped control is.
+        for step in range(3, 6):
+            batch = np.tile(observation_stream[step], (4, 1))
+            assert np.array_equal(
+                server.decide_now(ids, batch), control.decide_now(control_ids, batch)
+            )
+        assert server.stats().swaps == 1
+
+    def test_swap_incompatible_backend_resets_state(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=5)
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        ids = server.open_sessions(3)
+        server.decide_now(ids, observation_stream[:3])
+        generations = server.table.generation[ids].copy()
+        audit = server.swap_backend(GRUPolicyBackend(policy))
+        assert audit["state"] == "reset"
+        # Handles survive the swap: same slots, same generations.
+        assert np.array_equal(server.table.generation[ids], generations)
+        # And the reset sessions replay the fresh GRU server bit for bit.
+        fresh = PolicyServer(GRUPolicyBackend(policy), serving_env.observation_encoder)
+        fresh_ids = fresh.open_sessions(3)
+        for step in range(4):
+            batch = np.tile(observation_stream[step], (3, 1))
+            assert np.array_equal(
+                server.decide_now(ids, batch), fresh.decide_now(fresh_ids, batch)
+            )
+
+    def test_swap_drains_pending_microbatch(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy),
+            serving_env.observation_encoder,
+            max_batch_size=64,
+        )
+        ids = server.open_sessions(2)
+        tickets = [server.submit(int(s), observation_stream[0]) for s in ids]
+        audit = server.swap_backend(CompiledFSMBackend(compiled_policy))
+        assert audit["flushed_pending"] == 2
+        assert all(t.done and not t.failed for t in tickets)
+        assert server.pending == 0
+
+    def test_swap_rejects_incompatible_encoder(self, compiled_policy, serving_env):
+        from repro.env.observation import ObservationEncoder
+
+        policy = RecurrentPolicyValueNet(PolicyConfig(hidden_size=16), rng=5)
+        mismatched = PolicyServer(
+            GRUPolicyBackend(policy),
+            ObservationEncoder(serving_env.system_config, nominal_requests=123.0),
+        )
+        with pytest.raises(ConfigurationError):
+            mismatched.swap_backend(CompiledFSMBackend(compiled_policy))
+        # The failed swap left the old backend mounted.
+        assert mismatched.backend.name == "gru"
+
+
+class TestLatencyHistogram:
+    def test_percentiles_are_conservative_upper_edges(self):
+        histogram = LatencyHistogram()
+        values = np.array([0.001] * 90 + [0.010] * 9 + [0.500])
+        histogram.record_many(values)
+        assert histogram.total == 100
+        assert histogram.percentile(50) >= 0.001
+        assert histogram.percentile(95) >= 0.010
+        assert histogram.percentile(99) >= 0.010
+        assert histogram.percentile(100) == pytest.approx(0.5)
+        assert histogram.max_seconds == pytest.approx(0.5)
+        assert histogram.mean_seconds == pytest.approx(values.mean())
+        # Upper-edge estimates never exceed the next bucket boundary.
+        assert histogram.percentile(50) <= 0.001 * LatencyHistogram.FACTOR
+
+    def test_record_matches_record_many(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        values = [1e-5, 3e-4, 2e-3, 0.08, 1.5]
+        for value in values:
+            a.record(value)
+        b.record_many(np.array(values))
+        assert a.counts.tolist() == b.counts.tolist()
+        assert a.as_dict() == b.as_dict()
+
+    def test_fraction_within_slo(self):
+        histogram = LatencyHistogram()
+        histogram.record_many(np.array([0.001] * 8 + [1.0] * 2))
+        assert histogram.fraction_within(0.01) == pytest.approx(0.8)
+        assert histogram.fraction_within(10.0) == pytest.approx(1.0)
+        assert LatencyHistogram().fraction_within(0.1) == 1.0
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(99) == 0.0
+        assert histogram.as_dict()["count"] == 0
 
 
 # ----------------------------------------------------------------------
