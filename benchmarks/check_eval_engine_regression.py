@@ -1,0 +1,163 @@
+"""CI regression guard for the evaluation-engine benchmark.
+
+Compares the JSON emitted by ``test_bench_eval_engine.py`` against a
+committed baseline (``benchmarks/results/BENCH_eval_engine_*.json``) and
+fails when the compiled-engine evaluation throughput regressed by more
+than the threshold.
+
+Raw decisions/sec are not comparable across machines, so the comparison
+is **machine-normalised**: the current compiled-engine rate is rescaled
+by the ratio of the baseline's sequential-interpreted rate to the current
+one — the sequential reference harness acts as the per-run hardware
+calibration — which makes the check equivalent to comparing the
+compiled-vs-sequential speedups.
+
+Cross-configuration comparisons are refused outright: the script exits
+with an error when the two JSONs disagree on the measured backend pair,
+inference kernel, rng stream family, trace count or suite duration —
+those are configuration changes, not perf signals.
+
+Usage::
+
+    python benchmarks/check_eval_engine_regression.py \
+        --current bench-artifacts/BENCH_eval_engine.json \
+        --baseline benchmarks/results/BENCH_eval_engine_pr8.json
+
+The threshold (default 0.30 = fail on >30% regression) can be overridden
+with ``--threshold`` or the ``BENCH_REGRESSION_THRESHOLD`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _rates(payload: dict) -> tuple:
+    """(sequential_interpreted, compiled_engine) decisions/sec."""
+    try:
+        return (
+            float(payload["sequential_interpreted_decisions_per_s"]),
+            float(payload["compiled_engine_decisions_per_s"]),
+        )
+    except KeyError:
+        raise SystemExit(f"unrecognised benchmark JSON shape: {sorted(payload)}")
+
+
+def _config_stamp(payload: dict) -> tuple:
+    """(backend, baseline_backend, kernel, rng_family, traces, duration)."""
+    return (
+        str(payload.get("backend", "compiled_fsm")),
+        str(payload.get("baseline_backend", "sequential_interpreted")),
+        str(payload.get("kernel", "numpy")),
+        str(payload.get("rng_family", "legacy")),
+        int(payload.get("traces", 0)),
+        int(payload.get("duration", 0)),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, type=Path,
+                        help="JSON emitted by the benchmark run under test")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.30")),
+        help="maximum tolerated fractional regression (default 0.30, "
+             "env BENCH_REGRESSION_THRESHOLD)",
+    )
+    parser.add_argument(
+        "--kernel", default=None,
+        help="assert the current run was measured with this inference "
+             "kernel (numpy|native)")
+    parser.add_argument(
+        "--rng-family", default=None,
+        help="assert the current run was measured with this rng stream "
+             "family (legacy|philox)")
+    args = parser.parse_args(argv)
+
+    base_payload = _load(args.baseline)
+    current_payload = _load(args.current)
+    base_sequential, base_compiled = _rates(base_payload)
+    current_sequential, current_compiled = _rates(current_payload)
+    if min(base_sequential, base_compiled, current_sequential, current_compiled) <= 0:
+        raise SystemExit("benchmark rates must be positive")
+
+    base_config = _config_stamp(base_payload)
+    current_config = _config_stamp(current_payload)
+    if current_config[:2] != base_config[:2]:
+        # Comparing, say, a GRU-engine run against a compiled-FSM
+        # baseline would measure a backend swap, not a regression.
+        raise SystemExit(
+            f"backend mismatch: current run measured "
+            f"{current_config[0]!r} vs {current_config[1]!r} but the "
+            f"baseline recorded {base_config[0]!r} vs {base_config[1]!r}; "
+            f"only same-backend-pair runs are comparable"
+        )
+    if args.kernel is not None and current_config[2] != args.kernel:
+        raise SystemExit(
+            f"kernel mismatch: expected the current run to use "
+            f"kernel={args.kernel!r} but it was recorded with "
+            f"kernel={current_config[2]!r}"
+        )
+    if args.rng_family is not None and current_config[3] != args.rng_family:
+        raise SystemExit(
+            f"rng family mismatch: expected the current run to use "
+            f"rng_family={args.rng_family!r} but it was recorded with "
+            f"rng_family={current_config[3]!r}"
+        )
+    if base_config[2:4] != current_config[2:4]:
+        raise SystemExit(
+            f"configuration mismatch: current run was measured with "
+            f"(kernel, rng_family)={current_config[2:4]} but the baseline "
+            f"was recorded with {base_config[2:4]}; rerun with "
+            f"EVAL_BENCH_KERNEL={base_config[2]} "
+            f"EVAL_BENCH_RNG_FAMILY={base_config[3]} (or switch baselines)"
+        )
+    if base_config[4:] != current_config[4:]:
+        # The step/decide cost ratio shifts with trace count and length,
+        # so different evaluation sets flag phantom regressions.
+        raise SystemExit(
+            f"evaluation set mismatch: current run used "
+            f"(traces, duration)={current_config[4:]} but the baseline was "
+            f"recorded at {base_config[4:]}; rerun the benchmark with "
+            f"EVAL_BENCH_DURATION={base_config[5]} (or switch baselines)"
+        )
+
+    calibration = base_sequential / current_sequential
+    normalised_compiled = current_compiled * calibration
+    ratio = normalised_compiled / base_compiled
+    # Equivalent formulation: speedup_now / speedup_baseline.
+    print(f"baseline:   sequential {base_sequential:10.1f}  compiled {base_compiled:10.1f}  "
+          f"speedup {base_compiled / base_sequential:.2f}")
+    print(f"current:    sequential {current_sequential:10.1f}  compiled {current_compiled:10.1f}  "
+          f"speedup {current_compiled / current_sequential:.2f}")
+    print(f"normalised: compiled {normalised_compiled:10.1f} "
+          f"(hardware calibration x{calibration:.3f})")
+    print(f"ratio vs baseline: {ratio:.3f}  (fail below {1.0 - args.threshold:.3f})")
+
+    if ratio < 1.0 - args.threshold:
+        print(
+            f"FAIL: compiled-engine evaluation throughput regressed by "
+            f"{(1.0 - ratio) * 100:.1f}% (> {args.threshold * 100:.0f}% allowed)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: evaluation-engine throughput within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,183 @@
+"""Micro-benchmark: FSM-in-the-loop evaluation through the inference engine.
+
+Measures decisions/second for the whole closed loop — simulator step plus
+policy decision every interval — when a 12-trace evaluation set runs
+
+* through the :class:`~repro.engine.evaluation.EvaluationEngine` on the
+  compiled-FSM dense tables (one lockstep batch, the PR 8 path),
+* through the engine with the interpreted agent lifted per-slot
+  (``AgentBatchBackend``, same lockstep batch, scalar ``act`` per slot),
+* through the engine on the batched GRU forwards, and
+* through the sequential reference harness
+  (:func:`~repro.pipeline.evaluation.evaluate_agent` with the interpreted
+  ``FSMPolicyAgent``) — the status-quo path the engine replaces and the
+  baseline of the headline speedup.
+
+The bench asserts all FSM paths are **bit-identical** (same makespans,
+same total rewards, exact float equality) before it reports any rate: a
+faster evaluation that answers differently is not an optimisation.
+
+Knobs (environment variables):
+
+* ``EVAL_BENCH_DURATION`` — workload-suite duration in hours per trace
+  (default 48; CI smoke runs shorter).
+* ``EVAL_BENCH_ROUNDS`` — measurement rounds, best-of (default 3).
+* ``EVAL_BENCH_MIN_SPEEDUP`` — hard assertion floor for compiled-engine
+  vs sequential-interpreted throughput (default 2.0; the headline number
+  lives in the JSON, shared CI workers are too noisy for it).
+* ``EVAL_BENCH_KERNEL`` — inference kernel for the GRU policy (``numpy``
+  default, ``native`` for the fused C micro-kernel); stamped into the
+  JSON so regression checks refuse cross-kernel comparisons.
+* ``EVAL_BENCH_RNG_FAMILY`` — stamped alongside the kernel (evaluation
+  itself is greedy/deterministic, the stamp keeps the perf trajectory
+  comparable with the rollout benchmarks).
+* ``BENCH_OUTPUT_DIR`` — also write the JSON summary to
+  ``$BENCH_OUTPUT_DIR/BENCH_eval_engine.json`` for artifact upload / the
+  ``benchmarks/results/`` perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
+from repro.drl.rollout import BatchedRolloutCollector
+from repro.engine.backends import (
+    AgentBatchBackend,
+    CompiledFSMBackend,
+    GRUPolicyBackend,
+)
+from repro.engine.evaluation import EvaluationEngine
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.fsm.agent import FSMPolicyAgent
+from repro.fsm.extraction import ExtractionConfig, FSMExtractor
+from repro.pipeline.evaluation import evaluate_agent
+from repro.qbn.autoencoder import build_hidden_qbn, build_observation_qbn
+from repro.qbn.dataset import TransitionDataset
+from repro.storage.simulator import StorageSystemConfig
+from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+from repro.workloads.sampler import RealTraceSampler
+
+DURATION = int(os.environ.get("EVAL_BENCH_DURATION", "48"))
+ROUNDS = int(os.environ.get("EVAL_BENCH_ROUNDS", "3"))
+MIN_ASSERTED_SPEEDUP = float(os.environ.get("EVAL_BENCH_MIN_SPEEDUP", "2.0"))
+KERNEL = os.environ.get("EVAL_BENCH_KERNEL", "numpy")
+RNG_FAMILY = os.environ.get("EVAL_BENCH_RNG_FAMILY", "legacy")
+HIDDEN_SIZE = 128
+
+
+def _best_of(measure, rounds: int) -> tuple:
+    """Best decisions/s over ``rounds`` runs (after one warm-up run)."""
+    measure()  # warm-up: BLAS init, lazy buffers, allocator steady state
+    best_rate, result = 0.0, None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = measure()
+        elapsed = time.perf_counter() - start
+        best_rate = max(best_rate, sum(result.makespans) / elapsed)
+    return best_rate, result
+
+
+def test_bench_eval_engine(tmp_path):
+    system_config = StorageSystemConfig()
+    generator = StandardWorkloadGenerator(system_config, GeneratorConfig(), rng=0)
+    suite = generator.generate_suite(duration=DURATION)
+    eval_traces = list(suite.values())
+    rollout_traces = RealTraceSampler(suite, rng=1).sample_many(4)
+    policy = RecurrentPolicyValueNet(
+        PolicyConfig(hidden_size=HIDDEN_SIZE, kernel=KERNEL), rng=5
+    )
+
+    # Same artifact chain as the serving benchmark: greedy batched
+    # rollouts -> transition dataset -> QBNs -> extracted FSM.
+    reward_config = RewardConfig(mode="per_step_penalty")
+    collector = BatchedRolloutCollector(
+        VectorStorageAllocationEnv(system_config, reward_config), rng=0
+    )
+    trajectories = collector.collect_batch(policy, rollout_traces, greedy=True)
+    dataset = TransitionDataset.from_trajectories(trajectories)
+    observation_qbn = build_observation_qbn(35, latent_dim=12, rng=7)
+    hidden_qbn = build_hidden_qbn(HIDDEN_SIZE, latent_dim=16, rng=8)
+    extraction = FSMExtractor(
+        observation_qbn, hidden_qbn, ExtractionConfig(min_state_visits=0)
+    ).extract(dataset)
+
+    encoder = StorageAllocationEnv(system_config).observation_encoder
+    agent = FSMPolicyAgent.from_extraction(extraction, encoder, observation_qbn)
+    assert agent.compiled_routable()
+
+    engine = EvaluationEngine(system_config, reward_config)
+    compiled_backend = CompiledFSMBackend(agent.compile())
+    interpreted_backend = AgentBatchBackend.from_agent(agent, engine.encoder)
+    gru_backend = GRUPolicyBackend(policy)
+
+    compiled_rate, compiled_result = _best_of(
+        lambda: engine.evaluate(compiled_backend, eval_traces, episode_seed=0),
+        ROUNDS,
+    )
+    interpreted_rate, interpreted_result = _best_of(
+        lambda: engine.evaluate(interpreted_backend, eval_traces, episode_seed=0),
+        ROUNDS,
+    )
+    gru_rate, _ = _best_of(
+        lambda: engine.evaluate(gru_backend, eval_traces, episode_seed=0),
+        ROUNDS,
+    )
+    sequential_rate, sequential_result = _best_of(
+        lambda: evaluate_agent(
+            agent, eval_traces, reward_config=reward_config, episode_seed=0
+        ),
+        ROUNDS,
+    )
+
+    # Identity first, rates second: every FSM path must answer the same.
+    assert compiled_result.trace_names == sequential_result.trace_names
+    assert compiled_result.makespans == sequential_result.makespans
+    assert compiled_result.total_rewards == sequential_result.total_rewards
+    assert interpreted_result.makespans == sequential_result.makespans
+    assert interpreted_result.total_rewards == sequential_result.total_rewards
+
+    compiled = compiled_backend.policy
+    summary = {
+        "benchmark": "eval_engine",
+        "backend": "compiled_fsm",
+        "baseline_backend": "sequential_interpreted",
+        "kernel": KERNEL,
+        "rng_family": RNG_FAMILY,
+        "traces": len(eval_traces),
+        "duration": DURATION,
+        "rounds": ROUNDS,
+        "hidden_size": HIDDEN_SIZE,
+        "fsm_states": compiled.num_states,
+        "fsm_observations": compiled.num_observations,
+        "decisions": int(sum(sequential_result.makespans)),
+        "compiled_engine_decisions_per_s": round(compiled_rate, 1),
+        "engine_interpreted_decisions_per_s": round(interpreted_rate, 1),
+        "gru_engine_decisions_per_s": round(gru_rate, 1),
+        "sequential_interpreted_decisions_per_s": round(sequential_rate, 1),
+        "speedup": round(compiled_rate / sequential_rate, 2),
+        "engine_lift_speedup": round(interpreted_rate / sequential_rate, 2),
+        "compiled_vs_engine_interpreted": round(compiled_rate / interpreted_rate, 2),
+        "bit_identical": True,
+    }
+    print()
+    print(json.dumps(summary, indent=2))
+    (tmp_path / "eval_engine.json").write_text(json.dumps(summary, indent=2))
+    output_dir = os.environ.get("BENCH_OUTPUT_DIR")
+    if output_dir:
+        target = Path(output_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        suffix = (
+            "" if (KERNEL, RNG_FAMILY) == ("numpy", "legacy")
+            else f"_{KERNEL}_{RNG_FAMILY}"
+        )
+        (target / f"BENCH_eval_engine{suffix}.json").write_text(
+            json.dumps(summary, indent=2) + "\n"
+        )
+
+    assert compiled_rate / sequential_rate >= MIN_ASSERTED_SPEEDUP, summary

@@ -16,12 +16,50 @@ the train -> extract -> serve loop from this CLI.
 from __future__ import annotations
 
 import argparse
+import time
 
+from repro.engine import (
+    AgentBatchBackend,
+    CompiledFSMBackend,
+    EvaluationEngine,
+    GRUPolicyBackend,
+)
 from repro.fsm.interpretation import fan_in_out_statistics, history_profile
 from repro.fsm.render import fsm_summary_table
 from repro.pipeline.experiments import small_pipeline_config
 from repro.pipeline.learning_aided import LearningAidedPipeline
 from repro.utils.tables import format_series
+
+
+def run_engine_evaluation(pipeline, result, backend_kind: str, episode_seed: int) -> None:
+    """Evaluate the pipeline's policy on its held-out traces through the
+    inference engine — the same lockstep code path that training rollouts
+    and the serving fast path run on."""
+    engine = EvaluationEngine(pipeline.config.system, pipeline.config.reward)
+    env = pipeline.make_env()
+    if backend_kind == "gru":
+        backend, label = GRUPolicyBackend(result.policy), "gru_drl"
+    else:
+        agent = result.fsm_agent(env)
+        if backend_kind == "compiled":
+            backend, label = CompiledFSMBackend(agent.compile()), f"{agent.name}[compiled]"
+        else:
+            backend = AgentBatchBackend.from_agent(agent, engine.encoder)
+            label = f"{agent.name}[interpreted]"
+    start = time.perf_counter()
+    evaluation = engine.evaluate(
+        backend, result.eval_traces, episode_seed=episode_seed, agent_name=label
+    )
+    elapsed = time.perf_counter() - start
+    decisions = sum(evaluation.makespans)
+    print(f"\nEngine evaluation [{label}] over {len(result.eval_traces)} "
+          f"held-out traces ({decisions} decisions in {elapsed:.3f}s, "
+          f"{decisions / elapsed:,.0f} decisions/s):")
+    for name, makespan, reward in zip(
+        evaluation.trace_names, evaluation.makespans, evaluation.total_rewards
+    ):
+        print(f"  {name:<28} makespan {makespan:4d}  total reward {reward:10.3f}")
+    print(f"  mean makespan {evaluation.mean_makespan():.2f}")
 
 
 def main() -> None:
@@ -30,6 +68,14 @@ def main() -> None:
         "--compile-out", type=str, default=None, metavar="PATH",
         help="also compile the extracted FSM + observation QBN into a "
              "serving artifact (.npz) at PATH",
+    )
+    parser.add_argument(
+        "--engine-backend", choices=("interpreted", "compiled", "gru"),
+        default=None,
+        help="also evaluate the extracted policy on the held-out traces "
+             "through the unified inference engine with this backend "
+             "(compiled and interpreted answer bit-identically; compiled "
+             "runs the dense serving tables)",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
@@ -70,6 +116,9 @@ def main() -> None:
         print(f"\nCompiled serving artifact: {args.compile_out} "
               f"({compiled.num_states} states x {compiled.num_observations} "
               f"observation codes, start state row {compiled.start_state})")
+
+    if args.engine_backend:
+        run_engine_evaluation(pipeline, result, args.engine_backend, args.seed)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.drl.policy import RecurrentPolicyValueNet
 from repro.drl.rollout import BatchedRolloutCollector
+from repro.engine import AgentBatchBackend, EvaluationEngine
 from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.pipeline.experiments import small_pipeline_config
 from repro.pipeline.learning_aided import LearningAidedPipeline
@@ -53,6 +54,14 @@ def main() -> None:
         "--rng-family", choices=("legacy", "philox"), default="legacy",
         help="rng stream family for the rollout-through-the-backend "
              "demo (philox = counter-based, vectorized across the batch)",
+    )
+    parser.add_argument(
+        "--engine-backend", choices=("interpreted", "compiled", "gru"),
+        default=None,
+        help="also run a closed-loop evaluation of the policy on the "
+             "held-out traces through the unified inference engine with "
+             "this backend (the exact decision backend mounted in the "
+             "server above, driven in simulator lockstep)",
     )
     args = parser.parse_args()
 
@@ -135,6 +144,32 @@ def main() -> None:
     steps = sum(len(t) for t in trajectories)
     print(f"collected {len(trajectories)} episodes, {steps} steps in "
           f"{elapsed:.3f}s ({steps / elapsed:,.0f} steps/s)")
+
+    if args.engine_backend:
+        # Same DecisionBackend objects the server mounts, now driven in
+        # simulator lockstep by the evaluation engine: one decision
+        # contract across serving, rollouts and evaluation.
+        engine = EvaluationEngine(config.system, config.reward)
+        if args.engine_backend == "gru":
+            backend, label = gru_backend, "gru_drl"
+        elif args.engine_backend == "compiled":
+            backend, label = CompiledFSMBackend(compiled), "extracted_fsm[compiled]"
+        else:
+            backend = AgentBatchBackend.from_agent(
+                result.fsm_agent(env), engine.encoder
+            )
+            label = "extracted_fsm[interpreted]"
+        print(f"\n+    closed-loop engine evaluation "
+              f"[{label}] over {len(result.eval_traces)} held-out traces...")
+        start = time.perf_counter()
+        evaluation = engine.evaluate(
+            backend, result.eval_traces, episode_seed=args.seed, agent_name=label
+        )
+        elapsed = time.perf_counter() - start
+        decisions = sum(evaluation.makespans)
+        print(f"mean makespan {evaluation.mean_makespan():.2f} over "
+              f"{len(evaluation.makespans)} traces ({decisions} decisions in "
+              f"{elapsed:.3f}s, {decisions / elapsed:,.0f} decisions/s)")
 
 
 if __name__ == "__main__":

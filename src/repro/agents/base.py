@@ -18,6 +18,16 @@ class Agent(ABC):
 
     name: str = "agent"
 
+    # The batched evaluation engine may run an agent through
+    # per-session shallow copies (one replica per lockstep slot, see
+    # :class:`repro.engine.backends.AgentBatchBackend`).  That lift is
+    # faithful only when ``act`` is deterministic and every piece of
+    # per-episode state is *rebound* (not mutated in place) by
+    # ``reset``; agents that draw from a shared rng or mutate shared
+    # containers must set this to False so routing falls back to the
+    # sequential reference path.
+    engine_safe: bool = True
+
     def reset(self) -> None:
         """Clear per-episode state.  Stateless agents need not override."""
 

@@ -12,6 +12,9 @@ class RandomPolicy(Agent):
     """Chooses one of the seven actions uniformly at random each interval."""
 
     name = "random"
+    # Draws from a shared generator whose consumption order depends on
+    # evaluation order — not reproducible through per-slot replicas.
+    engine_safe = False
 
     def __init__(self, rng: SeedLike = None) -> None:
         self._rng = new_rng(rng)

@@ -478,11 +478,12 @@ class BatchedRolloutCollector:
         single slot bit-for-bit.
 
         ``policy`` may be a bare :class:`RecurrentPolicyValueNet` or any
-        serving :class:`~repro.serving.server.DecisionBackend` that
-        implements ``act_rollout`` (e.g.
-        :class:`~repro.serving.server.GRUPolicyBackend`) — training
-        rollouts, evaluation and the decision server then share one
-        inference engine.
+        :class:`~repro.engine.backends.DecisionBackend` that implements
+        ``act_rollout`` (e.g.
+        :class:`~repro.engine.backends.GRUPolicyBackend`; see
+        :func:`~repro.engine.backends.resolve_rollout_backend`) —
+        training rollouts, evaluation and the decision server then share
+        one inference engine.
         """
         traces = list(traces)
         if not traces:
@@ -511,13 +512,11 @@ class BatchedRolloutCollector:
             # wrapped per lane.
             action_rngs = GeneratorList(new_rng(r) for r in action_rngs)
 
-        if hasattr(policy, "act_rollout"):
-            backend = policy
-            policy = backend.policy
-        else:
-            from repro.serving.server import GRUPolicyBackend
+        # Lazy: repro.engine.backends imports repro.drl.policy, so the
+        # resolver cannot be imported while this package initialises.
+        from repro.engine.backends import resolve_rollout_backend
 
-            backend = GRUPolicyBackend(policy)
+        backend, policy = resolve_rollout_backend(policy)
 
         venv = self.vector_env
         normalized = venv.reset(traces, rngs=episode_rngs)

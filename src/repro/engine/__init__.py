@@ -1,0 +1,53 @@
+"""The inference engine: one decision contract for train, eval and serve.
+
+Everything that turns observations into migration decisions at batch
+granularity lives here, behind the :class:`DecisionBackend` protocol:
+
+* :mod:`repro.engine.backends` — the protocol and its standard
+  implementations (compiled-FSM tables, the recurrent policy, scalar
+  agents lifted per-session);
+* :mod:`repro.engine.compiled_fsm` — the FSM + quantiser flattened into
+  dense numpy tables; a decision is an integer gather, bit-identical to
+  the interpreted :class:`~repro.fsm.agent.FSMPolicyAgent`;
+* :mod:`repro.engine.sessions` — array-backed per-session state with
+  free-list slot reuse for very large concurrent session counts;
+* :mod:`repro.engine.evaluation` — the lockstep
+  :class:`EvaluationEngine` that runs any backend over a trace set,
+  bit-identical to the sequential reference harness.
+
+The three consumers — training rollout collection
+(:mod:`repro.drl.rollout`), policy evaluation
+(:mod:`repro.pipeline.evaluation`) and the serving layer
+(:mod:`repro.serving`) — all drive their hot loops through this package.
+"""
+
+from repro.engine.backends import (
+    AgentBatchBackend,
+    CompiledFSMBackend,
+    DecisionBackend,
+    GRUPolicyBackend,
+    HeuristicAgentBackend,
+    resolve_rollout_backend,
+)
+from repro.engine.compiled_fsm import CompiledDecision, CompiledFSMPolicy
+from repro.engine.evaluation import (
+    EvaluationEngine,
+    EvaluationResult,
+    backend_for_agent,
+)
+from repro.engine.sessions import SessionTable
+
+__all__ = [
+    "AgentBatchBackend",
+    "CompiledDecision",
+    "CompiledFSMPolicy",
+    "CompiledFSMBackend",
+    "DecisionBackend",
+    "EvaluationEngine",
+    "EvaluationResult",
+    "GRUPolicyBackend",
+    "HeuristicAgentBackend",
+    "SessionTable",
+    "backend_for_agent",
+    "resolve_rollout_backend",
+]

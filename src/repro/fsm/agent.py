@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.agents.base import Agent
 from repro.env.observation import Observation, ObservationEncoder
@@ -13,6 +15,9 @@ from repro.fsm.machine import FiniteStateMachine, StateKey
 from repro.qbn.autoencoder import QuantizedBottleneckNetwork
 from repro.qbn.quantize import code_key
 from repro.storage.migration import MigrationAction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.compiled_fsm import CompiledFSMPolicy
 
 
 class FSMPolicyAgent(Agent):
@@ -82,6 +87,55 @@ class FSMPolicyAgent(Agent):
             self.unseen_observation_count += 1
         self._state, action = self.fsm.step(self._state, observation_code)
         return action
+
+    def compiled_routable(self) -> bool:
+        """True when the dense-table compilation replays this agent bit for bit.
+
+        The compiled fast path resolves every non-prototype code through
+        nearest-prototype fallback over the *machine's* prototype table;
+        the interpreted agent resolves through its *matcher*.  The two
+        agree decision for decision exactly when the matcher indexes the
+        machine's prototypes in the machine's own order (same keys, same
+        vectors — so ``nearest_prototype_rows`` breaks ties identically),
+        or when the machine has no prototypes at all and no matcher is
+        installed (both sides then self-loop on truly unseen codes and
+        resolve transition-only codes exactly).
+        """
+        prototypes = self.fsm.observation_prototypes
+        if self.matcher is None:
+            # Without a matcher the interpreted agent never substitutes
+            # unseen codes, but the compiled tables would fall back to
+            # the nearest prototype whenever one exists.
+            return not prototypes
+        if not prototypes or self.matcher.keys != list(prototypes):
+            return False
+        machine_matrix = np.stack(
+            [np.asarray(vector, dtype=float) for vector in prototypes.values()]
+        )
+        return np.array_equal(self.matcher.prototype_matrix, machine_matrix)
+
+    def compile(self) -> "CompiledFSMPolicy":
+        """Compile this agent's machine into its dense-table equivalent.
+
+        Raises :class:`ExtractionError` when the compiled tables would
+        not be decision-for-decision identical (see
+        :meth:`compiled_routable`) — callers that want a best-effort
+        answer should check routability first and keep the interpreted
+        agent otherwise.
+        """
+        from repro.engine.compiled_fsm import CompiledFSMPolicy
+
+        if not self.compiled_routable():
+            raise ExtractionError(
+                "this agent's matcher does not mirror the machine's prototype "
+                "table (different keys, order or vectors) — the compiled "
+                "fallback would resolve unseen observations differently; "
+                "keep the interpreted agent"
+            )
+        metric = self.matcher.metric_name if self.matcher is not None else "euclidean"
+        return CompiledFSMPolicy.compile(
+            self.fsm, self.observation_qbn, encoder=self.encoder, metric=metric
+        )
 
     @property
     def current_state_label(self) -> str:

@@ -109,6 +109,17 @@ class NearestObservationMatcher:
         """
         return list(self._keys)
 
+    @property
+    def prototype_matrix(self) -> np.ndarray:
+        """Stacked prototype vectors; row ``i`` is ``keys[i]``.
+
+        The backing array, not a copy (treat as read-only) — routing
+        code compares it against a compiled artifact's prototype table
+        to decide whether the dense fast path replays this matcher's
+        tie-breaks exactly.
+        """
+        return self._matrix
+
     def key_at(self, index: int) -> ObservationKey:
         """The prototype code at ``index`` (no list copy — hot fallback path)."""
         return self._keys[index]

@@ -14,6 +14,7 @@
 
 from repro.pipeline.evaluation import EvaluationResult, evaluate_agent, compare_agents
 from repro.pipeline.learning_aided import (
+    FidelityReport,
     LearningAidedPipeline,
     PipelineConfig,
     PipelineResult,
@@ -31,6 +32,7 @@ __all__ = [
     "EvaluationResult",
     "evaluate_agent",
     "compare_agents",
+    "FidelityReport",
     "LearningAidedPipeline",
     "PipelineConfig",
     "PipelineResult",

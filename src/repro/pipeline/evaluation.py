@@ -1,52 +1,39 @@
-"""Policy evaluation: makespan measurement and controller comparison."""
+"""Policy evaluation: makespan measurement and controller comparison.
+
+:func:`evaluate_agent` is the sequential reference harness (one scalar
+environment, one ``agent.act`` per interval).  Everything else routes
+through the :class:`~repro.engine.evaluation.EvaluationEngine`, which
+runs the whole evaluation set in one lockstep batch per backend —
+compiled-FSM tables, batched GRU forwards or per-slot heuristic replicas
+— and is pinned bit-identical to the reference (same ``episode_seed +
+index`` seeding, same ``np.sum`` reward reduction).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.agents.base import Agent
 from repro.drl.policy import RecurrentPolicyValueNet
-from repro.drl.rollout import BatchedRolloutCollector
+from repro.engine.backends import GRUPolicyBackend
+from repro.engine.evaluation import EvaluationEngine, EvaluationResult, backend_for_agent
 from repro.env.environment import StorageAllocationEnv
 from repro.env.reward import RewardConfig
-from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import ConfigurationError
-from repro.storage.metrics import EpisodeMetrics
 from repro.storage.simulator import StorageSystemConfig
 from repro.storage.workload import WorkloadTrace
 from repro.utils.tables import format_table
 
-
-@dataclass
-class EvaluationResult:
-    """Per-trace makespans of one agent over an evaluation set."""
-
-    agent_name: str
-    trace_names: List[str] = field(default_factory=list)
-    makespans: List[int] = field(default_factory=list)
-    episodes: List[EpisodeMetrics] = field(default_factory=list)
-    total_rewards: List[float] = field(default_factory=list)
-
-    def mean_makespan(self) -> float:
-        return float(np.mean(self.makespans)) if self.makespans else float("nan")
-
-    def total_makespan(self) -> int:
-        return int(np.sum(self.makespans)) if self.makespans else 0
-
-    def mean_total_reward(self) -> float:
-        return float(np.mean(self.total_rewards)) if self.total_rewards else float("nan")
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "agent": self.agent_name,
-            "mean_makespan": self.mean_makespan(),
-            "total_makespan": float(self.total_makespan()),
-            "mean_total_reward": self.mean_total_reward(),
-            "traces": float(len(self.trace_names)),
-        }
+__all__ = [
+    "EvaluationResult",
+    "compare_agents",
+    "comparison_table",
+    "evaluate_agent",
+    "evaluate_policy_batched",
+    "relative_reduction",
+]
 
 
 def evaluate_agent(
@@ -70,7 +57,7 @@ def evaluate_agent(
         env = StorageAllocationEnv(system_config, reward_config=reward_config)
         observation = env.reset(trace, rng=episode_seed + index)
         agent.reset()
-        rewards: List[float] = []
+        rewards = []
         while True:
             step = env.step(agent.act(observation))
             observation = step.observation
@@ -103,26 +90,13 @@ def evaluate_policy_batched(
     harness), but the whole evaluation set shares one batched GRU forward
     pass per interval.
     """
-    if not traces:
-        raise ConfigurationError("evaluate_policy_batched needs at least one trace")
-    system_config = system_config or StorageSystemConfig()
-    vector_env = VectorStorageAllocationEnv(
-        system_config, reward_config, record_metrics=True
+    engine = EvaluationEngine(system_config, reward_config)
+    return engine.evaluate(
+        GRUPolicyBackend(policy),
+        traces,
+        episode_seed=episode_seed,
+        agent_name=agent_name,
     )
-    collector = BatchedRolloutCollector(vector_env)
-    trajectories = collector.collect_batch(
-        policy,
-        list(traces),
-        greedy=True,
-        episode_rngs=[episode_seed + index for index in range(len(traces))],
-    )
-    result = EvaluationResult(agent_name=agent_name)
-    for trajectory, episode in zip(trajectories, vector_env.episode_metrics()):
-        result.trace_names.append(trajectory.trace_name)
-        result.makespans.append(int(trajectory.makespan))
-        result.episodes.append(episode)
-        result.total_rewards.append(float(trajectory.total_reward))
-    return result
 
 
 def compare_agents(
@@ -135,34 +109,26 @@ def compare_agents(
 ) -> Dict[str, EvaluationResult]:
     """Evaluate several agents on the same traces with matched random seeds.
 
-    With ``batched`` (the default), greedy DRL policy agents are routed
-    through the vectorized evaluation path — identical makespans, one
-    batched policy forward per interval instead of one call per trace.
+    With ``batched`` (the default), every agent the engine can replay
+    faithfully is routed through one lockstep batch per agent — greedy
+    DRL agents as batched GRU forwards, routable extracted FSMs on their
+    compiled dense tables, heuristics as per-slot replicas (see
+    :func:`~repro.engine.evaluation.backend_for_agent`).  Agents the
+    lockstep lift cannot reproduce bit for bit (exploring DRL agents,
+    shared-rng agents) fall back to the sequential reference harness;
+    either way the numbers are identical.
     """
-    from repro.drl.agent import DRLPolicyAgent
-    from repro.env.observation import ObservationEncoder
-
-    def _uses_default_normalisation(agent: "DRLPolicyAgent") -> bool:
-        # The batched path normalises with the vector env's default
-        # encoder; only route agents whose own encoder is equivalent,
-        # otherwise the policy would see differently scaled features
-        # than in evaluate_agent.
-        default = ObservationEncoder(system_config or StorageSystemConfig())
-        return default.is_equivalent(agent.encoder)
-
+    # One engine — and therefore one default encoder and one vector env
+    # — serves every routed agent in this comparison; per-agent routing
+    # only builds the backend.
+    engine = EvaluationEngine(system_config, reward_config) if batched else None
     results: Dict[str, EvaluationResult] = {}
     for agent in agents:
-        if (
-            batched
-            and isinstance(agent, DRLPolicyAgent)
-            and agent.epsilon == 0.0
-            and _uses_default_normalisation(agent)
-        ):
-            results[agent.name] = evaluate_policy_batched(
-                agent.policy,
+        backend = backend_for_agent(agent, engine.encoder) if engine is not None else None
+        if backend is not None:
+            results[agent.name] = engine.evaluate(
+                backend,
                 traces,
-                system_config=system_config,
-                reward_config=reward_config,
                 episode_seed=episode_seed,
                 agent_name=agent.name,
             )

@@ -24,6 +24,7 @@ from repro.drl.agent import DRLPolicyAgent
 from repro.drl.curriculum import CurriculumConfig, CurriculumTrainer
 from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
 from repro.drl.rollout import BatchedRolloutCollector
+from repro.engine.evaluation import EvaluationResult
 from repro.env.environment import StorageAllocationEnv
 from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.env.reward import RewardConfig
@@ -115,19 +116,48 @@ class PipelineResult:
         )
 
     def compiled_fsm_policy(self, env: StorageAllocationEnv):
-        """Compile the extracted FSM into the dense serving fast path.
+        """Compile the extracted FSM into the dense decision fast path.
 
-        Returns a :class:`repro.serving.compiled_fsm.CompiledFSMPolicy`
+        Returns a :class:`repro.engine.compiled_fsm.CompiledFSMPolicy`
         stamped with ``env``'s normalisation constants — the train →
-        extract → serve handoff in one call.
+        extract → serve handoff in one call.  The fallback metric is the
+        extraction matcher's own, so compiled nearest-prototype
+        resolution breaks ties exactly like the interpreted agent.
         """
-        from repro.serving.compiled_fsm import CompiledFSMPolicy
+        from repro.engine.compiled_fsm import CompiledFSMPolicy
 
+        matcher = self.extraction.matcher
         return CompiledFSMPolicy.compile(
             self.extraction.fsm,
             self.qbn_result.observation_qbn,
             encoder=env.observation_encoder,
+            metric=matcher.metric_name if matcher is not None else "euclidean",
         )
+
+
+@dataclass
+class FidelityReport:
+    """Compiled-vs-interpreted FSM verification (one engine, same seeds).
+
+    ``identical`` is None when the machine is not compiled-routable (the
+    matcher does not mirror the machine's prototype table) — the
+    interpreted agent is then the only trustworthy deployment.
+    """
+
+    routable: bool
+    identical: Optional[bool]
+    interpreted: "EvaluationResult"
+    compiled: Optional["EvaluationResult"]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "routable": self.routable,
+            "identical": self.identical,
+            "interpreted_mean_makespan": self.interpreted.mean_makespan(),
+            "compiled_mean_makespan": (
+                self.compiled.mean_makespan() if self.compiled is not None else None
+            ),
+        }
 
 
 class LearningAidedPipeline:
@@ -249,4 +279,85 @@ class LearningAidedPipeline:
             real_traces=list(real_traces),
             eval_traces=list(eval_traces),
             transition_dataset=dataset,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation + fidelity stages (engine-backed)
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        result: PipelineResult,
+        baselines: Sequence = (),
+        traces: Optional[Sequence[WorkloadTrace]] = None,
+        episode_seed: int = 0,
+    ) -> Dict[str, EvaluationResult]:
+        """Evaluate the run's artefacts (plus ``baselines``) on the eval set.
+
+        Every agent is routed through one
+        :class:`~repro.engine.evaluation.EvaluationEngine` lockstep
+        batch — the DRL policy as batched (greedy) GRU forwards, the
+        extracted FSM on its compiled dense tables when
+        :meth:`~repro.fsm.agent.FSMPolicyAgent.compiled_routable` (the
+        interpreted agent is replayed per-slot otherwise), baselines as
+        per-slot replicas.  Results are keyed by agent name and
+        bit-identical to :func:`~repro.pipeline.evaluation.evaluate_agent`.
+        """
+        from repro.pipeline.evaluation import compare_agents
+
+        env = self.make_env()
+        agents = list(baselines) + [result.drl_agent(env), result.fsm_agent(env)]
+        return compare_agents(
+            agents,
+            list(traces) if traces is not None else list(result.eval_traces),
+            system_config=self.config.system,
+            reward_config=self.config.reward,
+            episode_seed=episode_seed,
+        )
+
+    def verify_fidelity(
+        self,
+        result: PipelineResult,
+        traces: Optional[Sequence[WorkloadTrace]] = None,
+        episode_seed: int = 0,
+    ) -> FidelityReport:
+        """Verify the compiled tables against the interpreted FSM agent.
+
+        Runs the same seeded evaluation set through the
+        :class:`~repro.engine.backends.CompiledFSMBackend` and through
+        per-slot replicas of the interpreted
+        :class:`~repro.fsm.agent.FSMPolicyAgent` (the verification
+        fallback), on one engine — then compares makespans and total
+        rewards for exact equality.
+        """
+        from repro.engine.backends import AgentBatchBackend, CompiledFSMBackend
+        from repro.engine.evaluation import EvaluationEngine
+
+        engine = EvaluationEngine(self.config.system, self.config.reward)
+        fsm_agent = result.fsm_agent(self.make_env())
+        trace_list = list(traces) if traces is not None else list(result.eval_traces)
+        interpreted = engine.evaluate(
+            AgentBatchBackend.from_agent(fsm_agent, engine.encoder),
+            trace_list,
+            episode_seed=episode_seed,
+            agent_name="extracted_fsm[interpreted]",
+        )
+        if not fsm_agent.compiled_routable():
+            return FidelityReport(
+                routable=False, identical=None, interpreted=interpreted, compiled=None
+            )
+        compiled = engine.evaluate(
+            CompiledFSMBackend(fsm_agent.compile()),
+            trace_list,
+            episode_seed=episode_seed,
+            agent_name="extracted_fsm[compiled]",
+        )
+        identical = (
+            compiled.makespans == interpreted.makespans
+            and compiled.total_rewards == interpreted.total_rewards
+        )
+        return FidelityReport(
+            routable=True,
+            identical=identical,
+            interpreted=interpreted,
+            compiled=compiled,
         )

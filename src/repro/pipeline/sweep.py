@@ -360,7 +360,6 @@ def _run_training_job(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
 def _run_pipeline_job(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     """A full (scaled-down) pipeline run evaluated against the default baseline."""
     from repro.agents.default import DefaultPolicy
-    from repro.pipeline.evaluation import compare_agents
     from repro.pipeline.experiments import small_pipeline_config
     from repro.pipeline.learning_aided import LearningAidedPipeline
 
@@ -383,18 +382,19 @@ def _run_pipeline_job(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
         config = apply_overrides(config, overrides)
     pipeline = LearningAidedPipeline(config)
     result = pipeline.run()
-    env = pipeline.make_env()
-    comparison = compare_agents(
-        [DefaultPolicy(), result.drl_agent(env), result.fsm_agent(env)],
-        result.eval_traces,
-        system_config=config.system,
-        reward_config=config.reward,
-        episode_seed=seed,
+    # Engine-backed evaluation stage: the FSM runs on its compiled dense
+    # tables when routable, the policy as batched GRU forwards — same
+    # numbers as the sequential harness, one lockstep batch per agent.
+    comparison = pipeline.evaluate(
+        result, baselines=[DefaultPolicy()], episode_seed=seed
     )
+    fidelity = pipeline.verify_fidelity(result, episode_seed=seed)
     metrics: Dict[str, Any] = {
         "train_epochs": len(result.training_history),
         "fsm_states": result.extraction.fsm.num_states,
         "eval_traces": len(result.eval_traces),
+        "fsm_compiled_routable": bool(fidelity.routable),
+        "fsm_compiled_identical": fidelity.identical,
     }
     for name, evaluation in comparison.items():
         metrics[f"{name}/mean_makespan"] = evaluation.mean_makespan()

@@ -1,15 +1,15 @@
 """Online policy serving: compiled decision tables, micro-batching, shadowing.
 
 The layer that turns trained artifacts (GRU policy, extracted FSM,
-observation QBN) into a high-throughput decision service:
+observation QBN) into a high-throughput decision service.  The decision
+engine itself — the :class:`DecisionBackend` protocol, the compiled FSM
+tables and the session table — now lives in :mod:`repro.engine` (it is
+shared with training rollouts and batched evaluation); this package
+re-exports those names so historical ``from repro.serving import ...``
+imports keep working.
 
-* :mod:`repro.serving.compiled_fsm` — the FSM + quantiser flattened into
-  dense numpy tables; a decision is an integer gather, bit-identical to
-  the interpreted :class:`~repro.fsm.agent.FSMPolicyAgent`;
-* :mod:`repro.serving.sessions` — array-backed per-session state with
-  free-list slot reuse for very large concurrent session counts;
-* :mod:`repro.serving.server` — the micro-batching request broker and
-  the :class:`DecisionBackend` protocol its backends implement;
+* :mod:`repro.serving.server` — the micro-batching request broker in
+  front of one :class:`DecisionBackend`;
 * :mod:`repro.serving.shadow` — run a second backend in shadow mode and
   stream serving-time fidelity counters (plus the threshold alarm that
   can drive an automatic rollback);
@@ -20,23 +20,27 @@ observation QBN) into a high-throughput decision service:
   pipelining client.
 """
 
-from repro.serving.artifacts import ArtifactRecord, ArtifactRegistry
-from repro.serving.compiled_fsm import CompiledDecision, CompiledFSMPolicy
-from repro.serving.netserver import PolicyClient, PolicyNetServer
-from repro.serving.server import (
+from repro.engine.backends import (
+    AgentBatchBackend,
     CompiledFSMBackend,
     DecisionBackend,
-    DecisionTicket,
     GRUPolicyBackend,
     HeuristicAgentBackend,
+)
+from repro.engine.compiled_fsm import CompiledDecision, CompiledFSMPolicy
+from repro.engine.sessions import SessionTable
+from repro.serving.artifacts import ArtifactRecord, ArtifactRegistry
+from repro.serving.netserver import PolicyClient, PolicyNetServer
+from repro.serving.server import (
+    DecisionTicket,
     LatencyHistogram,
     PolicyServer,
     ServerStats,
 )
-from repro.serving.sessions import SessionTable
 from repro.serving.shadow import FidelityAlarm, ShadowEvaluator
 
 __all__ = [
+    "AgentBatchBackend",
     "ArtifactRecord",
     "ArtifactRegistry",
     "CompiledDecision",

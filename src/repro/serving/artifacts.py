@@ -25,13 +25,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.drl.checkpoints import load_policy
 from repro.errors import ConfigurationError
-from repro.serving.compiled_fsm import CompiledFSMPolicy
-from repro.serving.server import (
-    CompiledFSMBackend,
-    DecisionBackend,
-    GRUPolicyBackend,
-    PolicyServer,
-)
+from repro.engine.backends import CompiledFSMBackend, DecisionBackend, GRUPolicyBackend
+from repro.engine.compiled_fsm import CompiledFSMPolicy
+from repro.serving.server import PolicyServer
 from repro.utils.serialization import PathLike
 
 

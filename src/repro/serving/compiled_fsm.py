@@ -1,612 +1,17 @@
-"""The compiled-FSM decision fast path.
+"""Backwards-compatible shim — the compiled FSM now lives in the engine.
 
-An extracted :class:`~repro.fsm.machine.FiniteStateMachine` is a
-dict-of-tuples structure built for inspection, not throughput: every
-decision hashes two tuple keys and walks Python objects.
-:class:`CompiledFSMPolicy` flattens the machine and its observation
-quantisation into dense numpy tables once, after which serving a
-decision is
-
-1. one batched QBN-encoder pass turning normalised observations into
-   discrete codes (two small matmuls through the batch-size-stable
-   kernel),
-2. one hash lookup per row mapping the code to an observation column
-   (with the shared nearest-prototype fallback for unseen codes), and
-3. one integer gather ``next = T[state, obs]`` + ``action = A[next]``.
-
-Decisions are bit-identical to stepping the interpreted
-:class:`~repro.fsm.agent.FSMPolicyAgent` per session: the encoder pass
-uses the same row-stable matmul kernel the agent's scalar path resolves
-to, unseen observations resolve through the same
-:func:`~repro.fsm.generalize.nearest_prototype_rows` helper over the
-same prototype ordering, and the gather reproduces ``FSM.step``'s
-self-loop default for unseen (state, observation) pairs.
-
-The compiled artifact is self-contained (tables + encoder weights +
-normalisation constants) and roundtrips through ``save``/``load`` so a
-serving process never needs the training stack.
+The dense-table compilation of the extracted FSM moved to
+:mod:`repro.engine.compiled_fsm` when the decision-engine contract was
+promoted out of the serving layer (the same tables now answer training
+rollouts, batched evaluation and serving).  This module re-exports the
+public names so existing ``from repro.serving.compiled_fsm import
+CompiledFSMPolicy`` imports (and artifact load paths) keep working.
 """
 
-from __future__ import annotations
+from repro.engine.compiled_fsm import (
+    ARTIFACT_FORMAT_VERSION,
+    CompiledDecision,
+    CompiledFSMPolicy,
+)
 
-from dataclasses import dataclass
-from typing import Dict, Optional
-
-import numpy as np
-
-from repro.autograd.functional import _GEMM_MIN_COLS, matmul_rows_np
-from repro.env.observation import ObservationEncoder
-from repro.errors import ConfigurationError, ExtractionError, SerializationError
-from repro.fsm.generalize import nearest_prototype_rows
-from repro.fsm.machine import FiniteStateMachine
-from repro.qbn.autoencoder import QuantizedBottleneckNetwork
-from repro.qbn.quantize import quantization_levels
-from repro.utils.serialization import PathLike, load_npz, save_npz
-
-ARTIFACT_FORMAT_VERSION = 1
-
-# Packed-key observation lookup is only sound while base-k positional
-# packing of a whole code fits an int64 (it is injective there).
-_PACK_LIMIT = 2 ** 62
-
-
-def _quantize_tanh(pre_activation: np.ndarray, k: int) -> np.ndarray:
-    """Reference latent quantisation: codes of ``clip(tanh(z), -1, 1)``.
-
-    Exactly the computation ``QuantizedBottleneckNetwork.discrete_code``
-    performs on the latent pre-activation (tanh is already in (-1, 1), so
-    the clip only pins rounding at the open boundaries).
-    """
-    return _level_codes(np.clip(np.tanh(pre_activation), -1.0, 1.0), k)
-
-
-def _tanh_code_thresholds(k: int) -> Optional[np.ndarray]:
-    """Pre-activation thresholds that reproduce :func:`_quantize_tanh` exactly.
-
-    The code of ``tanh(z)`` is a monotone step function of ``z`` (tanh is
-    monotone, and the rounded level-distance comparisons are monotone in
-    the computed tanh value), so each code boundary is one float64
-    threshold: ``code(z) = sum_j (z >= threshold_j)``.  The thresholds
-    are found by float bisection against the reference computation, then
-    verified on a dense sample plus the exact neighbourhoods of every
-    threshold; if the host's tanh breaks the monotonicity assumption the
-    verification fails and the caller keeps the reference path.
-    """
-
-    def reference_code(z: float) -> int:
-        return int(_quantize_tanh(np.array([z]), k)[0])
-
-    thresholds = []
-    for target in range(1, k):
-        lo, hi = -40.0, 40.0
-        if reference_code(lo) >= target or reference_code(hi) < target:
-            return None
-        while True:
-            mid = (lo + hi) * 0.5
-            if mid == lo or mid == hi:
-                break
-            if reference_code(mid) >= target:
-                hi = mid
-            else:
-                lo = mid
-        thresholds.append(hi)
-    result = np.array(thresholds)
-
-    # Verification: dense sweep + both float neighbours of each threshold.
-    probes = [np.linspace(-6.0, 6.0, 4001)]
-    for threshold in thresholds:
-        probes.append(
-            np.array(
-                [
-                    np.nextafter(threshold, -np.inf),
-                    threshold,
-                    np.nextafter(threshold, np.inf),
-                ]
-            )
-        )
-    sample = np.concatenate(probes)
-    fast = (sample[:, None] >= result[None, :]).sum(axis=1)
-    if not np.array_equal(fast, _quantize_tanh(sample, k)):
-        return None
-    return result
-
-
-def _level_codes(values: np.ndarray, k: int) -> np.ndarray:
-    """Integer level indices of ``values`` — fast form of ``values_to_codes``.
-
-    ``values_to_codes`` materialises the full ``(..., k)`` distance tensor
-    and argmins it; this scan keeps one running minimum per element
-    instead (k passes over the input, ~5x less work on the serving hot
-    path for k=3).  It is bit-identical by construction: each pass
-    computes the *same rounded* ``|v - level|`` distances, and the strict
-    ``<`` update reproduces argmin's lowest-index tie-break.
-    """
-    levels = quantization_levels(k)
-    best = np.abs(values - levels[0])
-    codes = np.zeros(values.shape, dtype=np.int64)
-    for j in range(1, k):
-        distance = np.abs(values - levels[j])
-        closer = distance < best
-        codes[closer] = j
-        np.minimum(best, distance, out=best)
-    return codes
-
-
-@dataclass(frozen=True)
-class CompiledDecision:
-    """One batched decision: actions taken and the successor state rows."""
-
-    actions: np.ndarray       # (B,) int64 migration-action indices
-    next_states: np.ndarray   # (B,) int64 compiled state rows
-    fallback_mask: np.ndarray  # (B,) bool — rows resolved via nearest prototype
-
-    @property
-    def batch_size(self) -> int:
-        return int(self.actions.shape[0])
-
-
-class CompiledFSMPolicy:
-    """Dense-table executable form of an extracted FSM + observation QBN.
-
-    State rows follow the machine's ``states`` insertion order and
-    observation columns list the prototype codes first (in their own
-    insertion order, matching the matcher's row order) followed by any
-    transition-only codes — the orderings every tie-break in the
-    interpreted path derives from.
-    """
-
-    def __init__(
-        self,
-        transition_table: np.ndarray,
-        action_table: np.ndarray,
-        state_codes: np.ndarray,
-        state_visits: np.ndarray,
-        obs_codes: np.ndarray,
-        num_prototypes: int,
-        prototype_matrix: np.ndarray,
-        start_state: int,
-        encoder_weights: Dict[str, np.ndarray],
-        quantization_levels: int,
-        metric: str = "euclidean",
-        encoder_constants: Optional[np.ndarray] = None,
-    ) -> None:
-        self.transition_table = np.ascontiguousarray(transition_table, dtype=np.int64)
-        self.action_table = np.ascontiguousarray(action_table, dtype=np.int64)
-        self.state_codes = np.ascontiguousarray(state_codes, dtype=np.int64)
-        self.state_visits = np.ascontiguousarray(state_visits, dtype=np.int64)
-        self.obs_codes = np.ascontiguousarray(obs_codes, dtype=np.int64)
-        self.num_prototypes = int(num_prototypes)
-        self.prototype_matrix = np.ascontiguousarray(prototype_matrix, dtype=float)
-        self.start_state = int(start_state)
-        self.metric = str(metric)
-        self.quantization_levels = int(quantization_levels)
-        self._w1 = np.ascontiguousarray(encoder_weights["w1"], dtype=float)
-        self._b1 = np.ascontiguousarray(encoder_weights["b1"], dtype=float)
-        self._w2 = np.ascontiguousarray(encoder_weights["w2"], dtype=float)
-        self._b2 = np.ascontiguousarray(encoder_weights["b2"], dtype=float)
-        self.encoder_constants = (
-            None if encoder_constants is None else np.asarray(encoder_constants, dtype=float)
-        )
-        if self.transition_table.shape != (self.num_states, self.num_observations):
-            raise ConfigurationError(
-                f"transition table shape {self.transition_table.shape} does not match "
-                f"{self.num_states} states x {self.num_observations} observations"
-            )
-        # Observation-code lookup.  Fast path: pack each code row into one
-        # int64 (base-k positional encoding — injective while k^L fits)
-        # and binary-search a sorted key table, fully vectorized.  Codes
-        # too wide to pack fall back to a per-row bytes-keyed dict.
-        latent = self.obs_codes.shape[1]
-        if self.quantization_levels ** latent < _PACK_LIMIT:
-            self._pack_vector = np.array(
-                [self.quantization_levels ** i for i in range(latent)], dtype=np.int64
-            )
-            packed = self.obs_codes @ self._pack_vector
-            order = np.argsort(packed, kind="stable")
-            self._sorted_keys = packed[order]
-            self._sorted_columns = order.astype(np.int64)
-            self._code_to_column = None
-        else:
-            self._pack_vector = None
-            self._code_to_column = {
-                self.obs_codes[i].tobytes(): i for i in range(self.obs_codes.shape[0])
-            }
-        self.fallback_count = 0
-        self.decision_count = 0
-        # Single-entry per-batch-size workspaces: steady-state serving
-        # reuses one batch size, so the hot path stays allocation-free
-        # while a fluctuating caller's memory stays bounded (the entry
-        # is replaced, not accumulated, when the batch size changes).
-        self._buffers: "tuple[int, np.ndarray, np.ndarray] | None" = None
-        self._code_workspace: "tuple[int, np.ndarray, np.ndarray] | None" = None
-        # Pre-activation quantisation thresholds (None -> reference path).
-        self._latent_thresholds = _tanh_code_thresholds(self.quantization_levels)
-
-    # ------------------------------------------------------------------
-    # Compilation
-    # ------------------------------------------------------------------
-    @classmethod
-    def compile(
-        cls,
-        fsm: FiniteStateMachine,
-        observation_qbn: QuantizedBottleneckNetwork,
-        encoder: Optional[ObservationEncoder] = None,
-        metric: str = "euclidean",
-    ) -> "CompiledFSMPolicy":
-        """Flatten ``fsm`` + its observation quantisation into dense tables."""
-        if fsm.num_states == 0:
-            raise ExtractionError("cannot compile an FSM with no states")
-        fsm.validate()
-
-        state_keys = list(fsm.states.keys())
-        state_rows = {key: row for row, key in enumerate(state_keys)}
-        hidden_lengths = {len(key) for key in state_keys}
-        if len(hidden_lengths) != 1:
-            raise ExtractionError(
-                f"state codes must share one length, got lengths {sorted(hidden_lengths)}"
-            )
-
-        latent_dim = observation_qbn.config.latent_dim
-        prototype_keys = list(fsm.observation_prototypes.keys())
-        obs_keys = list(prototype_keys)
-        seen = set(obs_keys)
-        for (_source, observation) in fsm.transitions.keys():
-            if observation not in seen:
-                seen.add(observation)
-                obs_keys.append(observation)
-        for key in obs_keys:
-            if len(key) != latent_dim:
-                raise ExtractionError(
-                    f"observation code length {len(key)} does not match the "
-                    f"QBN latent dim {latent_dim}"
-                )
-
-        num_states = len(state_keys)
-        obs_columns = {key: column for column, key in enumerate(obs_keys)}
-        # Default transition: stay in the current state (FSM.step's
-        # behaviour for (state, observation) pairs never seen together).
-        transition_table = np.tile(
-            np.arange(num_states, dtype=np.int64)[:, None], (1, len(obs_keys))
-        )
-        for (source, observation), destination in fsm.transitions.items():
-            transition_table[state_rows[source], obs_columns[observation]] = state_rows[
-                destination
-            ]
-
-        action_table = np.array(
-            [int(fsm.states[key].action) for key in state_keys], dtype=np.int64
-        )
-        state_visits = np.array(
-            [fsm.states[key].visit_count for key in state_keys], dtype=np.int64
-        )
-        state_codes = np.array(state_keys, dtype=np.int64).reshape(num_states, -1)
-        obs_codes = (
-            np.array(obs_keys, dtype=np.int64).reshape(len(obs_keys), -1)
-            if obs_keys
-            else np.zeros((0, latent_dim), dtype=np.int64)
-        )
-        prototype_matrix = (
-            np.stack([np.asarray(fsm.observation_prototypes[k], dtype=float) for k in prototype_keys])
-            if prototype_keys
-            else np.zeros((0, observation_qbn.config.input_dim))
-        )
-
-        # Start state exactly as FSMPolicyAgent resolves it: the recorded
-        # initial state when valid, otherwise the first most-visited
-        # state in insertion order (max() tie-break).
-        if fsm.initial_state is not None and fsm.initial_state in fsm.states:
-            start_key = fsm.initial_state
-        else:
-            start_key = max(state_keys, key=lambda key: fsm.states[key].visit_count)
-
-        encoder_weights = {
-            "w1": np.array(observation_qbn.encoder_hidden.weight.data),
-            "b1": np.array(observation_qbn.encoder_hidden.bias.data),
-            "w2": np.array(observation_qbn.encoder_latent.weight.data),
-            "b2": np.array(observation_qbn.encoder_latent.bias.data),
-        }
-        constants = None
-        if encoder is not None:
-            values = encoder.constants()
-            constants = np.array(
-                [values["total_cores"], values["max_size_kb"], values["nominal_requests"]]
-            )
-        return cls(
-            transition_table=transition_table,
-            action_table=action_table,
-            state_codes=state_codes,
-            state_visits=state_visits,
-            obs_codes=obs_codes,
-            num_prototypes=len(prototype_keys),
-            prototype_matrix=prototype_matrix,
-            start_state=state_rows[start_key],
-            encoder_weights=encoder_weights,
-            quantization_levels=observation_qbn.config.quantization_levels,
-            metric=metric,
-            encoder_constants=constants,
-        )
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def num_states(self) -> int:
-        return int(self.state_codes.shape[0])
-
-    @property
-    def num_observations(self) -> int:
-        return int(self.obs_codes.shape[0])
-
-    @property
-    def observation_dim(self) -> int:
-        return int(self._w1.shape[0])
-
-    def matches_encoder(self, encoder: ObservationEncoder) -> bool:
-        """Whether ``encoder`` normalises like the one stamped at compile time.
-
-        Always true when the artifact was compiled without an encoder (no
-        constants recorded to compare against).
-        """
-        if self.encoder_constants is None:
-            return True
-        values = encoder.constants()
-        recorded = self.encoder_constants
-        return (
-            recorded[0] == values["total_cores"]
-            and recorded[1] == values["max_size_kb"]
-            and recorded[2] == values["nominal_requests"]
-        )
-
-    def summary(self) -> Dict[str, int]:
-        return {
-            "states": self.num_states,
-            "observations": self.num_observations,
-            "prototypes": self.num_prototypes,
-            "decisions": self.decision_count,
-            "fallbacks": self.fallback_count,
-        }
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def encode_codes(self, normalized: np.ndarray) -> np.ndarray:
-        """Quantise normalised observations to (B, latent) integer codes.
-
-        Bit-identical to ``observation_qbn.discrete_code`` row by row:
-        the matmuls go through the batch-size-stable kernel (gemm rows
-        are batch-independent for M >= 2, exactly what the agent's
-        padded single-row path resolves to), and the latent tanh + clip
-        + level argmin collapse into verified pre-activation threshold
-        comparisons (see :func:`_tanh_code_thresholds`; the reference
-        sequence runs when verification rejected the thresholds).
-        """
-        pre_latent = self._pre_latent(normalized)
-        if self._latent_thresholds is not None:
-            # Verified pre-activation thresholds: the latent tanh, clip
-            # and level scan collapse into k-1 comparisons (buffered —
-            # the result is consumed within the same decision).
-            codes, flags = self._code_buffers(pre_latent.shape)
-            np.greater_equal(pre_latent, self._latent_thresholds[0], out=flags)
-            codes[...] = flags
-            for threshold in self._latent_thresholds[1:]:
-                np.greater_equal(pre_latent, threshold, out=flags)
-                codes += flags
-            return codes
-        # ``discrete_code`` snaps to the nearest level and then argmins
-        # the snapped value against the levels again; the snap is a
-        # fixed point of that argmin, so one level scan over the clipped
-        # latent yields the same codes with half the passes.
-        return _quantize_tanh(pre_latent, self.quantization_levels)
-
-    def _encode_packed(self, normalized: np.ndarray) -> np.ndarray:
-        """Base-k packed int64 key of every row's code, codes unmaterialised.
-
-        ``pack(code) = sum_c code_c * k^c`` distributes over the
-        threshold indicator sum (exact integer arithmetic), so each
-        threshold's flag matrix contracts directly against the pack
-        vector without building the (B, L) code array first.
-        """
-        pre_latent = self._pre_latent(normalized)
-        if self._latent_thresholds is None:
-            return _quantize_tanh(pre_latent, self.quantization_levels) @ self._pack_vector
-        _codes, flags = self._code_buffers(pre_latent.shape)
-        np.greater_equal(pre_latent, self._latent_thresholds[0], out=flags)
-        packed = flags @ self._pack_vector
-        for threshold in self._latent_thresholds[1:]:
-            np.greater_equal(pre_latent, threshold, out=flags)
-            packed += flags @ self._pack_vector
-        return packed
-
-    def _code_buffers(self, shape: "tuple[int, int]") -> "tuple[np.ndarray, np.ndarray]":
-        workspace = self._code_workspace
-        if workspace is None or workspace[0] != shape[0]:
-            workspace = (
-                shape[0],
-                np.empty(shape, dtype=np.int64),
-                np.empty(shape, dtype=bool),
-            )
-            self._code_workspace = workspace
-        return workspace[1], workspace[2]
-
-    def _pre_latent(self, normalized: np.ndarray) -> np.ndarray:
-        """Latent pre-activations (B, L) via the batch-size-stable kernels."""
-        normalized = np.asarray(normalized, dtype=float)
-        if normalized.ndim != 2 or normalized.shape[1] != self.observation_dim:
-            raise ConfigurationError(
-                f"expected (B, {self.observation_dim}) normalised "
-                f"observations, got shape {normalized.shape}"
-            )
-        batch = normalized.shape[0]
-        if (
-            batch >= 2
-            and self._w1.shape[1] >= _GEMM_MIN_COLS
-            and self._w2.shape[1] >= _GEMM_MIN_COLS
-        ):
-            # Buffered in-place variant of the expression below: gemm for
-            # M >= 2 and wide outputs is exactly what matmul_rows_np
-            # resolves to, and the bias add / tanh round identically in
-            # place — only the allocations are gone (hot serving path).
-            buffers = self._buffers
-            if buffers is None or buffers[0] != batch:
-                buffers = (
-                    batch,
-                    np.empty((batch, self._w1.shape[1])),
-                    np.empty((batch, self._w2.shape[1])),
-                )
-                self._buffers = buffers
-            hidden, pre_latent = buffers[1], buffers[2]
-            np.matmul(normalized, self._w1, out=hidden)
-            hidden += self._b1
-            np.tanh(hidden, out=hidden)
-            np.matmul(hidden, self._w2, out=pre_latent)
-            pre_latent += self._b2
-        else:
-            hidden = np.tanh(matmul_rows_np(normalized, self._w1) + self._b1)
-            pre_latent = matmul_rows_np(hidden, self._w2) + self._b2
-        return pre_latent
-
-    def resolve_observations(self, normalized: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
-        """Map normalised observations to observation columns.
-
-        Returns ``(columns, fallback_mask)``.  A code that quantises to a
-        known *prototype* resolves directly; anything else goes through
-        the shared nearest-prototype resolution (when prototypes exist) or
-        to the ``-1`` self-loop sentinel (when none do) — mirroring
-        ``FSMPolicyAgent``'s known/unseen split bit for bit.
-        """
-        batch = normalized.shape[0]
-        if self._pack_vector is not None and self.num_observations:
-            packed = self._encode_packed(normalized)
-            positions = self._sorted_keys.searchsorted(packed)
-            np.minimum(positions, self._sorted_keys.shape[0] - 1, out=positions)
-            found = self._sorted_keys[positions] == packed
-            columns = self._sorted_columns[positions]
-            if self.num_prototypes > 0:
-                # Known ⇔ the code is a *prototype* code: transition-only
-                # and unknown codes both take the nearest-prototype
-                # fallback, exactly like the interpreted agent's
-                # known/unseen split.  (Fallback rows of ``columns`` hold
-                # stale values here; they are overwritten below.)
-                fallback = (~found) | (columns >= self.num_prototypes)
-            else:
-                columns = np.where(found, columns, -1)
-                fallback = np.zeros(batch, dtype=bool)
-        else:
-            codes = self.encode_codes(normalized)
-            lookup = self._code_to_column or {}
-            columns = np.fromiter(
-                (lookup.get(codes[i].tobytes(), -1) for i in range(batch)),
-                dtype=np.int64,
-                count=batch,
-            )
-            if self.num_prototypes > 0:
-                fallback = (columns < 0) | (columns >= self.num_prototypes)
-            else:
-                # No prototypes to fall back to: transition-only codes
-                # resolve exactly, truly unknown codes self-loop (-1).
-                fallback = np.zeros(batch, dtype=bool)
-        if fallback.any():
-            rows = np.nonzero(fallback)[0]
-            columns[rows] = nearest_prototype_rows(
-                self.prototype_matrix, normalized[rows], self.metric
-            )
-            self.fallback_count += int(rows.shape[0])
-        return columns, fallback
-
-    def act_batch(
-        self, normalized: np.ndarray, states: np.ndarray
-    ) -> CompiledDecision:
-        """One decision for every row: gather successors and emit actions.
-
-        ``states`` are compiled state rows (e.g. ``SessionTable.state``
-        entries seeded with :attr:`start_state`); the caller stores
-        ``next_states`` back to keep each session's machine advancing.
-        """
-        states = np.asarray(states, dtype=np.int64)
-        columns, fallback = self.resolve_observations(normalized)
-        if self.num_prototypes > 0:
-            # Every row resolved to a real column (fallback guarantees it).
-            next_states = self.transition_table[states, columns]
-        elif self.num_observations:
-            next_states = self.transition_table[states, np.maximum(columns, 0)]
-            unknown = columns < 0
-            if unknown.any():
-                next_states[unknown] = states[unknown]
-        else:
-            next_states = states.copy()
-        actions = self.action_table[next_states]
-        self.decision_count += int(states.shape[0])
-        return CompiledDecision(
-            actions=actions, next_states=next_states, fallback_mask=fallback
-        )
-
-    def act(self, normalized: np.ndarray, state: int) -> "tuple[int, int]":
-        """Single-session convenience wrapper: returns (action, next_state)."""
-        decision = self.act_batch(
-            np.asarray(normalized, dtype=float)[None, :],
-            np.array([state], dtype=np.int64),
-        )
-        return int(decision.actions[0]), int(decision.next_states[0])
-
-    # ------------------------------------------------------------------
-    # Persistence
-    # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> None:
-        """Write the complete artifact to one ``.npz`` bundle."""
-        arrays: Dict[str, np.ndarray] = {
-            "transition_table": self.transition_table,
-            "action_table": self.action_table,
-            "state_codes": self.state_codes,
-            "state_visits": self.state_visits,
-            "obs_codes": self.obs_codes,
-            "prototype_matrix": self.prototype_matrix,
-            "enc_w1": self._w1,
-            "enc_b1": self._b1,
-            "enc_w2": self._w2,
-            "enc_b2": self._b2,
-            "meta": np.array(
-                [
-                    ARTIFACT_FORMAT_VERSION,
-                    self.start_state,
-                    self.num_prototypes,
-                    self.quantization_levels,
-                ],
-                dtype=np.int64,
-            ),
-            "metric": np.array(self.metric),
-        }
-        if self.encoder_constants is not None:
-            arrays["encoder_constants"] = self.encoder_constants
-        save_npz(path, arrays)
-
-    @classmethod
-    def load(cls, path: PathLike) -> "CompiledFSMPolicy":
-        """Load an artifact written by :meth:`save`."""
-        arrays = load_npz(path)
-        if "meta" not in arrays or "transition_table" not in arrays:
-            raise SerializationError(f"{path} is not a compiled FSM artifact")
-        meta = arrays["meta"].astype(int)
-        if int(meta[0]) != ARTIFACT_FORMAT_VERSION:
-            raise SerializationError(
-                f"unsupported compiled-FSM format version {int(meta[0])} "
-                f"(expected {ARTIFACT_FORMAT_VERSION})"
-            )
-        return cls(
-            transition_table=arrays["transition_table"],
-            action_table=arrays["action_table"],
-            state_codes=arrays["state_codes"],
-            state_visits=arrays["state_visits"],
-            obs_codes=arrays["obs_codes"],
-            num_prototypes=int(meta[2]),
-            prototype_matrix=arrays["prototype_matrix"],
-            start_state=int(meta[1]),
-            encoder_weights={
-                "w1": arrays["enc_w1"],
-                "b1": arrays["enc_b1"],
-                "w2": arrays["enc_w2"],
-                "b2": arrays["enc_b2"],
-            },
-            quantization_levels=int(meta[3]),
-            metric=str(arrays["metric"].item()),
-            encoder_constants=arrays.get("encoder_constants"),
-        )
+__all__ = ["ARTIFACT_FORMAT_VERSION", "CompiledDecision", "CompiledFSMPolicy"]

@@ -8,7 +8,11 @@ backend call, which is what lets the batched decision kernels (compiled
 FSM gathers, ``policy.act_batch``) amortise their fixed Python cost over
 hundreds of concurrent sessions.
 
-Backends implement one small :class:`DecisionBackend` protocol:
+Backends implement the :class:`~repro.engine.backends.DecisionBackend`
+protocol, which lives in :mod:`repro.engine` (the same contract drives
+training rollouts and batched evaluation); this module re-exports the
+standard backends so historical ``from repro.serving.server import
+GRUPolicyBackend`` imports keep working:
 
 * :class:`CompiledFSMBackend` — the O(1) table-gather fast path;
 * :class:`GRUPolicyBackend` — the full recurrent policy via
@@ -22,214 +26,34 @@ implements to run a second backend in shadow mode behind the primary.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.agents.base import Agent
-from repro.drl.policy import RecurrentPolicyValueNet
+from repro.engine.backends import (
+    AgentBatchBackend,
+    CompiledFSMBackend,
+    DecisionBackend,
+    GRUPolicyBackend,
+    HeuristicAgentBackend,
+)
+from repro.engine.sessions import GenerationLike, SessionTable
 from repro.env.observation import OBSERVATION_DIM, ObservationEncoder
 from repro.errors import ConfigurationError, ServingError
-from repro.serving.compiled_fsm import CompiledFSMPolicy
-from repro.serving.sessions import GenerationLike, SessionTable
 from repro.storage.migration import MigrationAction
 
-
-@runtime_checkable
-class DecisionBackend(Protocol):
-    """What the server needs from a decision engine."""
-
-    name: str
-
-    def session_table(self, capacity: int) -> SessionTable:
-        """A :class:`SessionTable` shaped for this backend's per-session state."""
-
-    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
-        """Initialise per-session state for freshly opened ``slots``."""
-
-    def decide(
-        self,
-        table: SessionTable,
-        slots: np.ndarray,
-        raw: np.ndarray,
-        normalized: np.ndarray,
-    ) -> np.ndarray:
-        """Decide one action per row and advance the sessions' state."""
-
-    # Optional protocol extensions (the server calls them when present):
-    #
-    # ``check_encoder(encoder)`` — raise ConfigurationError if the
-    # server's observation encoder is incompatible with the backend's
-    # compiled artifacts.
-    # ``end_sessions(table, slots)`` — release per-session resources
-    # when sessions close.
-    # ``session_state_signature()`` — a hashable token describing what
-    # the backend's per-session state *means*.  Two backends with equal
-    # signatures interpret each other's session rows identically, so a
-    # blue/green :meth:`PolicyServer.swap_backend` migrates live state
-    # instead of resetting it.  Return ``None`` (or omit the method) to
-    # always reset on swap.
-    # ``act_rollout(observations, hiddens, rngs=..., epsilon=...,
-    # greedy=..., active=...)`` — full training-mode batched step
-    # (sampled actions, values, explicit hidden rows).  Backends that
-    # implement it can be passed to
-    # :meth:`~repro.drl.rollout.BatchedRolloutCollector.collect_batch`
-    # in place of a bare policy, so training rollouts, evaluation and
-    # the decision server share one inference engine.
-
-
-class CompiledFSMBackend:
-    """Serves decisions from a :class:`CompiledFSMPolicy`'s dense tables."""
-
-    def __init__(self, policy: CompiledFSMPolicy) -> None:
-        self.policy = policy
-        self.name = "compiled_fsm"
-
-    def check_encoder(self, encoder: ObservationEncoder) -> None:
-        """Refuse to serve behind an encoder the artifact was not compiled for."""
-        if not self.policy.matches_encoder(encoder):
-            raise ConfigurationError(
-                "observation encoder normalises differently from the one the "
-                "compiled FSM artifact was stamped with "
-                f"(artifact constants {self.policy.encoder_constants.tolist()}, "
-                f"encoder constants {encoder.constants()}) — decisions would "
-                "silently diverge from the extracted policy"
-            )
-
-    def session_table(self, capacity: int) -> SessionTable:
-        return SessionTable(capacity=capacity, hidden_size=0)
-
-    def session_state_signature(self) -> Optional[Tuple[str, str]]:
-        """Identity of the compiled state space (rows + start + actions).
-
-        Two compiled artifacts migrate session state only when their
-        state rows *mean the same thing* — same codes in the same order,
-        same emitted actions, same start row.  Re-extracted machines get
-        fresh rows and therefore reset.
-        """
-        digest = hashlib.sha256()
-        digest.update(self.policy.state_codes.tobytes())
-        digest.update(self.policy.action_table.tobytes())
-        digest.update(int(self.policy.start_state).to_bytes(8, "little"))
-        return ("fsm", digest.hexdigest())
-
-    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
-        table.state[slots] = self.policy.start_state
-
-    def decide(
-        self,
-        table: SessionTable,
-        slots: np.ndarray,
-        raw: np.ndarray,
-        normalized: np.ndarray,
-    ) -> np.ndarray:
-        decision = self.policy.act_batch(normalized, table.state[slots])
-        table.state[slots] = decision.next_states
-        return decision.actions
-
-
-class GRUPolicyBackend:
-    """Serves decisions from the recurrent policy (greedy ``act_batch``)."""
-
-    def __init__(self, policy: RecurrentPolicyValueNet) -> None:
-        self.policy = policy
-        self.name = "gru"
-
-    def session_table(self, capacity: int) -> SessionTable:
-        return SessionTable(capacity=capacity, hidden_size=self.policy.hidden_dim())
-
-    def session_state_signature(self) -> Optional[Tuple[str, int]]:
-        # A hidden row keeps its meaning across weight updates of the
-        # same architecture (warm start after a fine-tune); only a
-        # dimension change forces a reset.
-        return ("gru", int(self.policy.hidden_dim()))
-
-    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
-        table.hidden[slots] = self.policy.initial_hidden_np(slots.shape[0])
-
-    def decide(
-        self,
-        table: SessionTable,
-        slots: np.ndarray,
-        raw: np.ndarray,
-        normalized: np.ndarray,
-    ) -> np.ndarray:
-        output = self.policy.act_batch(normalized, table.hidden[slots], greedy=True)
-        table.hidden[slots] = output.hidden_states
-        return np.asarray(output.actions, dtype=np.int64)
-
-    def act_rollout(
-        self,
-        observations: np.ndarray,
-        hiddens: np.ndarray,
-        rngs=None,
-        epsilon: float = 0.0,
-        greedy: bool = False,
-        active: Optional[np.ndarray] = None,
-    ):
-        """Training-mode batched step (the rollout collectors' hot call).
-
-        Thin delegation to ``policy.act_batch`` — the point is that the
-        same backend object (same policy instance, same fused kernel)
-        serves both the decision server's :meth:`decide` and the
-        trajectory collectors.
-        """
-        return self.policy.act_batch(
-            observations,
-            hiddens,
-            rngs=rngs,
-            epsilon=epsilon,
-            greedy=greedy,
-            active=active,
-        )
-
-
-class HeuristicAgentBackend:
-    """Serves any scalar :class:`Agent` — one instance per open session.
-
-    The per-session objects make this the compatibility path, not the
-    scale path; it exists so baseline heuristics can be A/B'd (and
-    shadowed) behind the same server interface as the learned policies.
-    """
-
-    def __init__(
-        self, agent_factory: Callable[[], Agent], encoder: ObservationEncoder
-    ) -> None:
-        self.agent_factory = agent_factory
-        self.encoder = encoder
-        self._agents: Dict[int, Agent] = {}
-        # Most factories are Agent classes with a class-level name; only
-        # build a throwaway instance when the factory hides it (lambdas).
-        label = getattr(agent_factory, "name", None)
-        self.name = f"heuristic({label if isinstance(label, str) else agent_factory().name})"
-
-    def session_table(self, capacity: int) -> SessionTable:
-        return SessionTable(capacity=capacity, hidden_size=0)
-
-    def begin_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
-        for slot in slots.tolist():
-            agent = self.agent_factory()
-            agent.reset()
-            self._agents[int(slot)] = agent
-
-    def end_sessions(self, table: SessionTable, slots: np.ndarray) -> None:
-        for slot in slots.tolist():
-            self._agents.pop(int(slot), None)
-
-    def decide(
-        self,
-        table: SessionTable,
-        slots: np.ndarray,
-        raw: np.ndarray,
-        normalized: np.ndarray,
-    ) -> np.ndarray:
-        actions = np.empty(slots.shape[0], dtype=np.int64)
-        for i, slot in enumerate(slots.tolist()):
-            observation = self.encoder.split_raw(raw[i])
-            actions[i] = int(self._agents[int(slot)].act(observation))
-        return actions
+__all__ = [
+    "AgentBatchBackend",
+    "CompiledFSMBackend",
+    "DecisionBackend",
+    "DecisionTicket",
+    "GRUPolicyBackend",
+    "HeuristicAgentBackend",
+    "LatencyHistogram",
+    "PolicyServer",
+    "ServerStats",
+]
 
 
 class DecisionTicket:

@@ -21,8 +21,8 @@ from typing import Dict
 
 import numpy as np
 
-from repro.serving.server import DecisionBackend
-from repro.serving.sessions import SessionTable
+from repro.engine.backends import DecisionBackend
+from repro.engine.sessions import SessionTable
 from repro.storage.migration import NUM_ACTIONS, MigrationAction
 
 
