@@ -1,0 +1,97 @@
+"""CI regression guard for the fleet-scale load benchmark.
+
+Compares the JSON emitted by ``test_bench_fleet_load.py`` against a
+committed baseline (``benchmarks/results/BENCH_fleet_load_*.json``) and
+fails when the sustained end-to-end decisions/s regressed by more than
+the threshold.
+
+Raw rates are not comparable across machines, so the comparison is
+**machine-normalised**: the current fleet rate is rescaled by the ratio
+of the baseline's raw ``decide_now`` calibration rate to the current
+one — the broker's direct path acts as the per-run hardware
+calibration, making the check equivalent to comparing each run's
+fleet-loop overhead on top of raw decision serving.
+
+Runs measured under different configurations are **refused**, not
+compared: fleet size, schedule digest, and the ``kernel`` /
+``rng_family`` stamps must all match between current and baseline.
+
+Usage::
+
+    python benchmarks/check_fleet_load_regression.py \
+        --current bench-artifacts/BENCH_fleet_load.json \
+        --baseline benchmarks/results/BENCH_fleet_load_pr9.json
+
+The threshold (default 0.30 = fail on >30% regression) can be
+overridden with ``--threshold`` or ``BENCH_REGRESSION_THRESHOLD``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_STAMPS = ("sessions", "schedule_digest", "kernel", "rng_family")
+
+
+def _load(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.30")),
+    )
+    args = parser.parse_args()
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+
+    for stamp in _STAMPS:
+        current_value = current.get(stamp)
+        baseline_value = baseline.get(stamp)
+        if current_value != baseline_value:
+            raise SystemExit(
+                f"configuration mismatch: current run has "
+                f"{stamp}={current_value!r} but the baseline was measured "
+                f"with {stamp}={baseline_value!r}; refusing to compare "
+                "(re-run the benchmark with the baseline's configuration "
+                "or commit a new baseline)"
+            )
+
+    current_rate = float(current["decisions_per_s"])
+    baseline_rate = float(baseline["decisions_per_s"])
+    current_calibration = float(current["calibration_decisions_per_s"])
+    baseline_calibration = float(baseline["calibration_decisions_per_s"])
+
+    machine_factor = baseline_calibration / current_calibration
+    normalised_rate = current_rate * machine_factor
+    change = (normalised_rate - baseline_rate) / baseline_rate
+
+    print(f"baseline fleet rate:    {baseline_rate:12.1f} decisions/s")
+    print(f"current  fleet rate:    {current_rate:12.1f} decisions/s (raw)")
+    print(
+        f"machine calibration:    {current_calibration:12.1f} vs "
+        f"{baseline_calibration:.1f} decide_now/s (factor {machine_factor:.3f})"
+    )
+    print(f"normalised fleet rate:  {normalised_rate:12.1f} decisions/s")
+    print(f"change vs baseline:     {change:+12.1%} (threshold -{args.threshold:.0%})")
+
+    if change < -args.threshold:
+        print("FAIL: fleet load throughput regressed past the threshold")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

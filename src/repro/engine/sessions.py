@@ -54,6 +54,7 @@ class SessionTable:
         self.generation = np.zeros(capacity, dtype=np.int64)
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         self._num_active = 0
+        self.peak_active = 0
         self.total_opened = 0
         self.total_closed = 0
 
@@ -71,6 +72,16 @@ class SessionTable:
     def active_slots(self) -> np.ndarray:
         """Slots currently holding an open session (ascending order)."""
         return np.nonzero(self.active)[0]
+
+    def occupancy(self) -> dict:
+        """Occupancy snapshot (the fleet load harness samples this per step)."""
+        return {
+            "active": self._num_active,
+            "peak_active": self.peak_active,
+            "capacity": self._capacity,
+            "total_opened": self.total_opened,
+            "total_closed": self.total_closed,
+        }
 
     # ------------------------------------------------------------------
     # Capacity management
@@ -114,6 +125,8 @@ class SessionTable:
             self.hidden[slots] = 0.0
         self.steps[slots] = 0
         self._num_active += count
+        if self._num_active > self.peak_active:
+            self.peak_active = self._num_active
         self.total_opened += count
         return slots
 
@@ -154,6 +167,7 @@ class SessionTable:
         self.steps[:] = other.steps
         self._free = list(other._free)
         self._num_active = other._num_active
+        self.peak_active = max(self.peak_active, other.peak_active)
         self.total_opened = other.total_opened
         self.total_closed = other.total_closed
 

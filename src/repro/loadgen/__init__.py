@@ -1,0 +1,29 @@
+"""Fleet-scale sim-to-serve load harness.
+
+Closes the loop between the repo's two halves: B-major
+:class:`~repro.storage.vector_state.VectorSimulatorState` batches act
+as thousands of client storage nodes, each one holding a ``(slot,
+generation)`` session on the micro-batching
+:class:`~repro.serving.server.PolicyServer` — either in-process or
+through :class:`~repro.serving.netserver.PolicyNetServer` sockets — and
+submitting one decision request per simulated interval.  The
+:class:`FleetDriver` runs a phased :class:`FleetSchedule` (session
+churn, Zipfian tenant mix, correlated flash-crowd bursts, deliberate
+stale-handle probes) and emits a :class:`LoadReport` whose
+``deterministic`` section is byte-identical for a fixed ``(base_seed,
+schedule)`` — across runs *and* across the in-process vs socket
+transports, because every backend decides row-wise.
+"""
+
+from repro.loadgen.schedule import FleetSchedule, LoadPhase
+from repro.loadgen.driver import FleetDriver, InProcessTransport, SocketTransport
+from repro.loadgen.report import LoadReport
+
+__all__ = [
+    "FleetDriver",
+    "FleetSchedule",
+    "InProcessTransport",
+    "LoadPhase",
+    "LoadReport",
+    "SocketTransport",
+]

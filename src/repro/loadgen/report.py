@@ -1,0 +1,121 @@
+"""Aggregated results of one fleet load run.
+
+A :class:`LoadReport` is split in two on purpose:
+
+* ``deterministic`` — all-integer counters (decisions, churn events,
+  stale rejections, occupancy timeline, recycles) plus a sha256
+  ``digest`` folded over every applied action of the run.  For a fixed
+  ``(base_seed, schedule)`` this section is byte-identical across runs
+  and across the in-process / socket transports — it is what the
+  determinism pin asserts on.
+* ``timing`` — wall-clock rates and latency percentiles (per phase and
+  overall), which legitimately vary run to run and are reported for
+  humans and the benchmark regression guard, never compared for
+  equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.serving.server import LatencyHistogram
+from repro.utils.serialization import save_json
+
+__all__ = ["LoadReport"]
+
+
+class LoadReport:
+    """Accumulator + serialised form of one :class:`FleetDriver` run."""
+
+    def __init__(self, config: Dict[str, object]) -> None:
+        self.config = dict(config)
+        self.phases: List[Dict[str, object]] = []
+        self.occupancy_timeline: List[int] = []
+        self.recycles = 0
+        self.digest: Optional[str] = None
+        self.phase_latency: Dict[str, LatencyHistogram] = {}
+        self.latency = LatencyHistogram()
+        self.phase_seconds: Dict[str, float] = {}
+        self.elapsed_seconds = 0.0
+        self.server_summary: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Accumulation (driver-facing)
+    # ------------------------------------------------------------------
+    def begin_phase(self, name: str) -> LatencyHistogram:
+        self.phase_latency[name] = LatencyHistogram()
+        return self.phase_latency[name]
+
+    def finish_phase(self, counters: Dict[str, int], seconds: float) -> None:
+        self.phases.append(dict(counters))
+        self.phase_seconds[str(counters["name"])] = float(seconds)
+        self.latency.merge(self.phase_latency[str(counters["name"])])
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def deterministic_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "phases": [dict(p) for p in self.phases],
+            "decisions_total": sum(int(p["decisions"]) for p in self.phases),
+            "probe_decisions_total": sum(
+                int(p["probe_decisions"]) for p in self.phases
+            ),
+            "churn_cycles_total": sum(int(p["churn_cycles"]) for p in self.phases),
+            "stale_rejections_total": sum(
+                int(p["stale_rejections"]) for p in self.phases
+            ),
+            "recycles": int(self.recycles),
+            "occupancy_timeline": [int(v) for v in self.occupancy_timeline],
+        }
+        if self.digest is not None:
+            payload["digest"] = self.digest
+        return payload
+
+    def timing_dict(self) -> Dict[str, object]:
+        decisions = sum(int(p["decisions"] + p["probe_decisions"]) for p in self.phases)
+        per_phase = {}
+        for name, hist in self.phase_latency.items():
+            seconds = self.phase_seconds.get(name, 0.0)
+            per_phase[name] = {
+                "seconds": round(seconds, 4),
+                "decisions_per_sec": (
+                    round(hist.total / seconds, 2) if seconds > 0 else None
+                ),
+                "latency": hist.as_dict(),
+            }
+        return {
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "decisions_per_sec": (
+                round(decisions / self.elapsed_seconds, 2)
+                if self.elapsed_seconds > 0
+                else None
+            ),
+            "latency": self.latency.as_dict(),
+            "per_phase": per_phase,
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "config": dict(self.config),
+            "deterministic": self.deterministic_dict(),
+            "timing": self.timing_dict(),
+            "server": dict(self.server_summary),
+        }
+
+    def deterministic_json(self) -> str:
+        """Canonical JSON of the deterministic section (pin-comparable)."""
+        return json.dumps(
+            self.deterministic_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def save(self, path) -> None:
+        save_json(path, self.as_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        det = self.deterministic_dict()
+        return (
+            f"LoadReport(decisions={det['decisions_total']}, "
+            f"phases={len(self.phases)}, digest={str(self.digest)[:12]})"
+        )

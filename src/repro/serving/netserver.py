@@ -126,17 +126,31 @@ async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, Dict[str, objec
 class _Connection:
     """Per-connection bookkeeping (write side + in-flight accounting)."""
 
-    __slots__ = ("writer", "inflight", "closed")
+    __slots__ = ("writer", "inflight", "closed", "broken")
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
         self.inflight = 0
         self.closed = False
+        self.broken = False
 
-    def send(self, payload: Dict[str, object], codec: int) -> None:
-        if self.closed or self.writer.is_closing():
-            return
-        self.writer.write(encode_frame(payload, codec))
+    def send(self, payload: Dict[str, object], codec: int) -> bool:
+        """Write one reply frame; ``False`` if the connection can't take it.
+
+        A transport that raises (peer reset the connection, writer
+        already torn down) marks the connection ``broken`` so later
+        replies skip it immediately instead of raising again — the
+        caller settling a whole micro-batch must never lose the other
+        connections' replies to one dead peer.
+        """
+        if self.closed or self.broken or self.writer.is_closing():
+            return False
+        try:
+            self.writer.write(encode_frame(payload, codec))
+        except (OSError, RuntimeError):
+            self.broken = True
+            return False
+        return True
 
 
 class _Waiter:
@@ -223,6 +237,9 @@ class PolicyNetServer:
         self.busy_rejections = 0
         self.requests_total = 0
         self.protocol_errors = 0
+        self.replies_dropped = 0
+        self.flush_loop_errors = 0
+        self.last_flush_error: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -267,17 +284,33 @@ class PolicyNetServer:
             await listener.wait_closed()
         self._listeners = []
         # Flush whatever is queued; a backend fault fails those tickets,
-        # which _settle turns into explicit error replies.
+        # which _settle turns into explicit error replies.  A wedged
+        # backend raising outside the ReproError hierarchy must not
+        # abort the drain half-done (listeners closed, connections
+        # stranded) — flush already failed the detached tickets, so
+        # record the fault and keep going.
         try:
             self.server.flush()
         except ReproError:
             pass
+        except Exception as exc:
+            self.flush_loop_errors += 1
+            self.last_flush_error = f"{type(exc).__name__}: {exc}"
         self._settle()
-        # Anything still unresolved (cannot normally happen — flush
-        # resolves or fails every ticket) is failed explicitly.
-        for waiter in self._waiters:
-            waiter.ticket.fail(ServingError("server drained before decision"))
-        self._settle()
+        # Anything still unresolved is cancelled *in the broker* —
+        # failing the tickets from out here would leave them in the
+        # broker's pending set, and ``pending`` would read nonzero
+        # after a "clean" drain.
+        if self._waiters:
+            drained = ServingError("server drained before decision")
+            self.server.cancel_pending(drained)
+            for waiter in self._waiters:
+                if not waiter.ticket.done:
+                    # Backstop for a ticket the broker no longer tracks
+                    # (cannot normally happen — cancel/flush resolve or
+                    # fail every queued ticket).
+                    waiter.ticket.fail(drained)
+            self._settle()
         if self._flush_task is not None:
             self._flush_task.cancel()
             try:
@@ -304,6 +337,7 @@ class PolicyNetServer:
             "backend": self.server.backend.name,
             "active_version": self.active_version,
             "active_sessions": self.server.table.num_active,
+            "peak_sessions": self.server.table.peak_active,
             "pending": self.server.pending,
             "parked_replies": len(self._waiters),
             "connections_total": self.connections_total,
@@ -311,6 +345,9 @@ class PolicyNetServer:
             "requests_total": self.requests_total,
             "busy_rejections": self.busy_rejections,
             "protocol_errors": self.protocol_errors,
+            "replies_dropped": self.replies_dropped,
+            "flush_loop_errors": self.flush_loop_errors,
+            "last_flush_error": self.last_flush_error,
             "draining": self._draining,
             **stats,
         }
@@ -358,13 +395,23 @@ class PolicyNetServer:
     async def _flush_loop(self) -> None:
         while True:
             await asyncio.sleep(self.flush_interval)
-            if self.server.pending:
-                try:
-                    self.server.flush()
-                except ReproError:
-                    pass  # tickets were failed; replies settle below
-            self._settle()
-            self._check_alarm()
+            try:
+                if self.server.pending:
+                    try:
+                        self.server.flush()
+                    except ReproError:
+                        pass  # tickets were failed; replies settle below
+                self._settle()
+                self._check_alarm()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # A surprise anywhere in the tick used to kill this task
+                # silently — the server then never flushed again and
+                # every queued request hung until drain.  Count it,
+                # remember it for ``summary()``, keep flushing.
+                self.flush_loop_errors += 1
+                self.last_flush_error = f"{type(exc).__name__}: {exc}"
 
     def _settle(self) -> None:
         """Write replies for every parked request whose ticket resolved."""
@@ -390,7 +437,10 @@ class PolicyNetServer:
                     reply["id"] = waiter.request_id
             latency.record(now - waiter.arrived)
             waiter.connection.inflight -= 1
-            waiter.connection.send(reply, waiter.codec)
+            if not waiter.connection.send(reply, waiter.codec):
+                # Closed or broken peer: its reply is dropped (counted),
+                # everyone else's in this batch still settles.
+                self.replies_dropped += 1
         self._waiters = unresolved
 
     # ------------------------------------------------------------------

@@ -75,6 +75,16 @@ class DecisionTicket:
     def failed(self) -> bool:
         return self._error is not None
 
+    @property
+    def action(self) -> Optional[int]:
+        """The decided action index, or ``None`` (pending / failed).
+
+        The allocation-free read the fleet load harness uses to collect
+        a whole batch of resolved tickets without wrapping each decision
+        in a :class:`MigrationAction` (see :meth:`result`).
+        """
+        return self._action
+
     def fail(self, error: BaseException) -> None:
         """Mark the ticket terminally failed (backend fault, drain abort)."""
         if self._action is None and self._error is None:
@@ -132,6 +142,13 @@ class LatencyHistogram:
         self.total += int(seconds.size)
         self.sum_seconds += float(seconds.sum())
         self.max_seconds = max(self.max_seconds, float(seconds.max()))
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s recordings into this histogram (pure addition)."""
+        self.counts += other.counts
+        self.total += other.total
+        self.sum_seconds += other.sum_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
 
     @property
     def mean_seconds(self) -> float:
@@ -299,6 +316,78 @@ class PolicyServer:
         if len(self._pending_slots) >= self.max_batch_size:
             self.flush()
         return ticket
+
+    def submit_many(
+        self,
+        session_ids,
+        raw_matrix: np.ndarray,
+        expected_generation: Optional[GenerationLike] = None,
+    ) -> List[DecisionTicket]:
+        """Queue one request per row with a single validation pass.
+
+        Semantically equivalent to calling :meth:`submit` row by row
+        (the queue still auto-flushes every time it reaches
+        ``max_batch_size``, so micro-batch composition is identical),
+        but slot validation, generation checks and the duplicate test
+        run once over the whole matrix — the per-request Python cost
+        that dominates fleet-scale callers submitting thousands of
+        sessions per step.  Rows must name distinct sessions.
+        """
+        slots = self.table.checked_slots(
+            session_ids, unique=True, expected_generation=expected_generation
+        )
+        raw = np.asarray(raw_matrix, dtype=float)
+        if raw.ndim != 2 or raw.shape[0] != slots.shape[0]:
+            raise ConfigurationError(
+                f"raw matrix must have one row per session, got {raw.shape} "
+                f"for {slots.shape[0]} sessions"
+            )
+        if raw.shape[1] != OBSERVATION_DIM:
+            raise ConfigurationError(
+                f"raw matrix must have {OBSERVATION_DIM} columns "
+                f"(one observation per row), got {raw.shape[1]}"
+            )
+        tickets: List[DecisionTicket] = []
+        pending_set = self._pending_set
+        for slot, row in zip(slots.tolist(), raw):
+            if slot in pending_set:
+                self.flush()
+                pending_set = self._pending_set
+            ticket = DecisionTicket(slot)
+            self._pending_slots.append(slot)
+            self._pending_raw.append(row)
+            self._pending_tickets.append(ticket)
+            pending_set.add(slot)
+            tickets.append(ticket)
+            if len(self._pending_slots) >= self.max_batch_size:
+                self.flush()
+                pending_set = self._pending_set
+        return tickets
+
+    def cancel_pending(self, error: Optional[BaseException] = None) -> int:
+        """Fail every queued ticket without calling the backend.
+
+        The broker-side abort path: drain/shutdown flows that decide not
+        to serve the queued micro-batch must route through here so the
+        queue, the per-session single-in-flight set and the failure
+        counters stay consistent — failing tickets from outside (e.g.
+        ``ticket.fail`` on a parked network reply) would leave them in
+        the pending set and ``pending`` would read nonzero after a
+        "clean" drain.  Returns the number of cancelled requests.
+        """
+        if not self._pending_slots:
+            return 0
+        tickets = self._pending_tickets
+        self._pending_slots = []
+        self._pending_raw = []
+        self._pending_tickets = []
+        self._pending_set = set()
+        if error is None:
+            error = ServingError("request cancelled before a decision was made")
+        for ticket in tickets:
+            ticket.fail(error)
+        self._stats.failed += len(tickets)
+        return len(tickets)
 
     def flush(self) -> int:
         """Serve every queued request in one backend call; returns the count.

@@ -14,6 +14,7 @@ from repro.workloads.spec import WorkloadProfile, IntensityModel
 from repro.workloads.profiles import STANDARD_PROFILES, get_profile, profile_names
 from repro.workloads.generator import StandardWorkloadGenerator, GeneratorConfig
 from repro.workloads.sampler import RealTraceSampler, SamplerConfig
+from repro.workloads.tenant_mix import ZipfianTenantMix
 from repro.workloads.trace_io import save_trace, load_trace, save_trace_bundle, load_trace_bundle
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "GeneratorConfig",
     "RealTraceSampler",
     "SamplerConfig",
+    "ZipfianTenantMix",
     "save_trace",
     "load_trace",
     "save_trace_bundle",

@@ -1,0 +1,315 @@
+"""Tests for the fleet-scale sim-to-serve load harness."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.env.environment import StorageAllocationEnv
+from repro.env.reward import RewardConfig
+from repro.errors import ConfigurationError
+from repro.fsm.machine import FiniteStateMachine
+from repro.loadgen import (
+    FleetDriver,
+    FleetSchedule,
+    InProcessTransport,
+    LoadPhase,
+    SocketTransport,
+)
+from repro.qbn.autoencoder import build_observation_qbn
+from repro.qbn.quantize import code_key
+from repro.serving import (
+    CompiledFSMBackend,
+    CompiledFSMPolicy,
+    PolicyClient,
+    PolicyNetServer,
+    PolicyServer,
+)
+from repro.storage.migration import NUM_ACTIONS, MigrationAction
+from repro.storage.simulator import StorageSystemConfig
+from repro.workloads import ZipfianTenantMix
+from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+
+
+# ----------------------------------------------------------------------
+# Shared small artefacts (mirrors test_netserver.py's handmade machine)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_env():
+    return StorageAllocationEnv(
+        StorageSystemConfig(), reward_config=RewardConfig(mode="per_step_penalty"), rng=0
+    )
+
+
+@pytest.fixture(scope="module")
+def observation_stream(serving_env):
+    generator = StandardWorkloadGenerator(
+        serving_env.system_config, GeneratorConfig(), rng=0
+    )
+    trace = generator.generate("web_server", duration=24)
+    rng = np.random.default_rng(9)
+    observation = serving_env.reset(trace)
+    rows = []
+    while True:
+        rows.append(observation.raw())
+        result = serving_env.step(MigrationAction(int(rng.integers(NUM_ACTIONS))))
+        observation = result.observation
+        if result.done:
+            break
+    return np.array(rows)
+
+
+@pytest.fixture(scope="module")
+def compiled_policy(serving_env, observation_stream):
+    rng = np.random.default_rng(3)
+    qbn = build_observation_qbn(35, latent_dim=6, hidden_dim=16, rng=4)
+    fsm = FiniteStateMachine()
+    codes = []
+    while len(codes) < 4:
+        code = tuple(int(c) for c in rng.integers(0, 3, size=5))
+        if code not in fsm.states:
+            state = fsm.add_state(code, MigrationAction(int(rng.integers(NUM_ACTIONS))))
+            state.visit_count = int(rng.integers(20))
+            codes.append(code)
+    normalized = serving_env.observation_encoder.normalize_batch(observation_stream)
+    for vector in normalized[:5]:
+        key = code_key(qbn.discrete_code(vector))
+        if key not in fsm.observation_prototypes:
+            fsm.observation_prototypes[key] = np.asarray(vector, float)
+    observation_keys = list(fsm.observation_prototypes)
+    for _ in range(20):
+        fsm.add_transition(
+            codes[int(rng.integers(len(codes)))],
+            observation_keys[int(rng.integers(len(observation_keys)))],
+            codes[int(rng.integers(len(codes)))],
+        )
+    fsm.initial_state = codes[1]
+    fsm.validate()
+    return CompiledFSMPolicy.compile(fsm, qbn, encoder=serving_env.observation_encoder)
+
+
+def _make_server(compiled_policy, serving_env, capacity: int = 256) -> PolicyServer:
+    return PolicyServer(
+        CompiledFSMBackend(compiled_policy),
+        serving_env.observation_encoder,
+        initial_capacity=capacity,
+        max_batch_size=128,
+    )
+
+
+def _small_schedule(**overrides) -> FleetSchedule:
+    base = dict(
+        sessions=48,
+        shard_size=16,
+        trace_duration=8,
+        trace_variants=2,
+        phases=[
+            LoadPhase(name="warmup", steps=1),
+            LoadPhase(name="churn", steps=2, churn_rate=0.2, stale_probes_per_step=2),
+            LoadPhase(
+                name="flash_crowd",
+                steps=2,
+                burst_multiplier=2,
+                burst_tenant_fraction=0.25,
+            ),
+        ],
+    )
+    base.update(overrides)
+    return FleetSchedule(**base)
+
+
+# ----------------------------------------------------------------------
+# Tenant mix
+# ----------------------------------------------------------------------
+class TestZipfianTenantMix:
+    def test_weights_are_normalised_and_rank_ordered(self):
+        mix = ZipfianTenantMix(["a", "b", "c", "d"], skew=1.2)
+        weights = mix.weights()
+        assert pytest.approx(sum(weights.values())) == 1.0
+        assert weights["a"] > weights["b"] > weights["c"] > weights["d"]
+
+    def test_zero_skew_is_uniform(self):
+        mix = ZipfianTenantMix(["a", "b", "c"], skew=0.0)
+        assert pytest.approx(list(mix.weights().values())) == [1 / 3] * 3
+
+    def test_assignment_is_inverse_cdf(self):
+        mix = ZipfianTenantMix(["a", "b"], skew=0.0)  # cdf = [0.5, 1.0]
+        assert mix.assign(np.array([0.0, 0.49, 0.5, 0.999])) == [
+            "a", "a", "b", "b",
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfianTenantMix([])
+        with pytest.raises(ConfigurationError):
+            ZipfianTenantMix(["a", "a"])
+        with pytest.raises(ConfigurationError):
+            ZipfianTenantMix(["a"], skew=-1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfianTenantMix(["a", "b"]).assign(np.array([1.0]))
+
+
+# ----------------------------------------------------------------------
+# Schedule
+# ----------------------------------------------------------------------
+class TestFleetSchedule:
+    def test_roundtrip_and_digest(self):
+        schedule = _small_schedule()
+        clone = FleetSchedule.from_dict(schedule.as_dict())
+        assert clone.as_dict() == schedule.as_dict()
+        assert clone.digest() == schedule.digest()
+        different = _small_schedule(sessions=49)
+        assert different.digest() != schedule.digest()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _small_schedule(sessions=0).validate()
+        with pytest.raises(ConfigurationError):
+            _small_schedule(phases=[]).validate()
+        with pytest.raises(ConfigurationError):
+            _small_schedule(
+                phases=[LoadPhase(name="x", steps=1), LoadPhase(name="x", steps=1)]
+            ).validate()
+        with pytest.raises(ConfigurationError):
+            LoadPhase(name="bad", steps=1, churn_rate=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            LoadPhase(name="bad", steps=1, burst_multiplier=0).validate()
+
+    def test_totals(self):
+        schedule = _small_schedule()
+        assert schedule.total_steps == 5
+        assert schedule.num_shards() == 3
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+class TestFleetDriver:
+    def test_deterministic_report_for_fixed_seed(
+        self, compiled_policy, serving_env
+    ):
+        """The pin: same (base_seed, schedule) → identical report bytes."""
+        reports = []
+        for _ in range(2):
+            server = _make_server(compiled_policy, serving_env)
+            driver = FleetDriver(
+                _small_schedule(), InProcessTransport(server), base_seed=42
+            )
+            reports.append(driver.run())
+        assert reports[0].deterministic_json() == reports[1].deterministic_json()
+        assert reports[0].digest == reports[1].digest
+
+    def test_different_seed_changes_the_run(self, compiled_policy, serving_env):
+        digests = []
+        for seed in (0, 1):
+            server = _make_server(compiled_policy, serving_env)
+            driver = FleetDriver(
+                _small_schedule(), InProcessTransport(server), base_seed=seed
+            )
+            digests.append(driver.run().deterministic_json())
+        assert digests[0] != digests[1]
+
+    def test_schedule_knobs_show_up_in_counters(
+        self, compiled_policy, serving_env
+    ):
+        server = _make_server(compiled_policy, serving_env)
+        schedule = _small_schedule()
+        report = FleetDriver(
+            schedule, InProcessTransport(server), base_seed=7
+        ).run()
+        det = report.deterministic_dict()
+        by_name = {p["name"]: p for p in det["phases"]}
+        # Every session decides once per step; warmup has no churn.
+        assert by_name["warmup"]["decisions"] == 48
+        assert by_name["warmup"]["churn_cycles"] == 0
+        assert by_name["churn"]["churn_cycles"] > 0
+        assert by_name["churn"]["stale_rejections"] > 0
+        assert by_name["flash_crowd"]["probe_decisions"] > 0
+        # No tenant ever lost its session: occupancy is flat at the
+        # fleet size and the server saw no deeper peak.
+        assert det["occupancy_timeline"] == [48] * schedule.total_steps
+        assert server.table.peak_active == 48
+        assert server.table.num_active == 48
+        # Churn really recycled slots: generations moved.
+        assert server.table.generation.max() >= 1
+
+    def test_report_json_is_loadable_and_structured(
+        self, compiled_policy, serving_env, tmp_path
+    ):
+        server = _make_server(compiled_policy, serving_env)
+        report = FleetDriver(
+            _small_schedule(), InProcessTransport(server), base_seed=3
+        ).run()
+        path = tmp_path / "fleet.json"
+        report.save(path)
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"config", "deterministic", "timing", "server"}
+        assert payload["config"]["schedule_digest"] == _small_schedule().digest()
+        assert payload["deterministic"]["digest"] == report.digest
+        assert payload["timing"]["latency"]["count"] > 0
+        assert payload["server"]["transport"] == "inprocess"
+
+    def test_socket_transport_matches_inprocess_byte_for_byte(
+        self, compiled_policy, serving_env
+    ):
+        """Same fleet through real sockets → identical deterministic section."""
+        schedule = _small_schedule()
+        server = _make_server(compiled_policy, serving_env)
+        inproc = FleetDriver(
+            schedule, InProcessTransport(server), base_seed=11
+        ).run()
+
+        async def socket_run():
+            sock_server = _make_server(compiled_policy, serving_env)
+            netserver = PolicyNetServer(
+                sock_server, flush_interval=0.001, max_inflight=64
+            )
+            socket_root = tempfile.mkdtemp(prefix="rfleet", dir="/tmp")
+            socket_path = os.path.join(socket_root, "s.sock")
+            try:
+                await netserver.start(unix_path=socket_path)
+                clients = [
+                    await PolicyClient.connect_unix(socket_path) for _ in range(3)
+                ]
+                driver = FleetDriver(
+                    schedule,
+                    SocketTransport(clients, per_connection_window=16),
+                    base_seed=11,
+                )
+                report = await driver.run_async()
+                for client in clients:
+                    await client.close()
+                summary = await netserver.drain()
+                return report, summary
+            finally:
+                shutil.rmtree(socket_root, ignore_errors=True)
+
+        socket_report, summary = asyncio.run(socket_run())
+        assert socket_report.deterministic_json() == inproc.deterministic_json()
+        assert socket_report.digest == inproc.digest
+        # The deterministic run never trips back-pressure or drops replies.
+        assert summary["busy_rejections"] == 0
+        assert summary["replies_dropped"] == 0
+        assert summary["flush_loop_errors"] == 0
+
+    def test_recycle_restarts_finished_shards(self, compiled_policy, serving_env):
+        server = _make_server(compiled_policy, serving_env)
+        # Traces last 4 intervals but the phase runs 10 steps: every
+        # shard must recycle onto its next trace variant at least once.
+        schedule = _small_schedule(
+            sessions=32,
+            shard_size=16,
+            trace_duration=4,
+            phases=[LoadPhase(name="long_haul", steps=10)],
+        )
+        report = FleetDriver(
+            schedule, InProcessTransport(server), base_seed=5
+        ).run()
+        assert report.recycles >= 2
+        assert report.deterministic_dict()["decisions_total"] == 32 * 10

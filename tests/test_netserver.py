@@ -522,3 +522,209 @@ class TestArtifactRegistry:
         assert [entry["seq"] for entry in registry.audit_trail] == [0, 1]
         assert registry.audit_trail[0]["to_version"] == "green"
         assert registry.audit_trail[1]["from_version"] == "green"
+
+
+# ----------------------------------------------------------------------
+# PR 9 serving hardening: flush-loop guard, broken-peer settle, drain
+# ----------------------------------------------------------------------
+class _WedgedBackend:
+    """Wraps a real backend; ``decide`` raises RuntimeError while armed."""
+
+    def __init__(self, inner, failures: int = 1) -> None:
+        self.inner = inner
+        self.failures = failures
+        self.name = f"wedged({inner.name})"
+
+    def session_table(self, capacity):
+        return self.inner.session_table(capacity)
+
+    def begin_sessions(self, table, slots):
+        self.inner.begin_sessions(table, slots)
+
+    def decide(self, table, slots, raw, normalized):
+        if self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError("wedged backend")
+        return self.inner.decide(table, slots, raw, normalized)
+
+
+class TestServingHardening:
+    def test_flush_loop_survives_non_repro_backend_fault(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """One RuntimeError from a flush tick must not kill the loop.
+
+        Before the guard, anything outside the ReproError hierarchy
+        raised in ``_flush_loop`` killed the task silently — the server
+        never flushed again and every later request hung until drain.
+        """
+
+        async def scenario():
+            server = PolicyServer(
+                _WedgedBackend(CompiledFSMBackend(compiled_policy), failures=1),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.002)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                client = await PolicyClient.connect_unix(socket_path)
+                (handle,) = await client.open(1)
+                with pytest.raises(ServingError, match="BACKEND_ERROR"):
+                    await client.decide(handle, observation_stream[0])
+                summary = await client.stats()
+                assert summary["flush_loop_errors"] == 1
+                assert "RuntimeError" in summary["last_flush_error"]
+                # The loop is still alive: the next request is served
+                # by a timer-triggered flush, not left hanging.
+                action = await asyncio.wait_for(
+                    client.decide(handle, observation_stream[1]), timeout=5.0
+                )
+                assert 0 <= action < NUM_ACTIONS
+                assert not netserver._flush_task.done()
+                await client.close()
+                await netserver.drain()
+
+        asyncio.run(scenario())
+
+    def test_settle_survives_peer_that_breaks_mid_batch(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """A reply write blowing up must not lose the batch's other replies.
+
+        Before the fix, the first ``connection.send`` raising inside
+        ``_settle`` propagated out with half the waiters unsettled and
+        ``inflight`` already decremented for some — here the broken
+        peer's reply is dropped (counted) and everyone else settles.
+        """
+
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.01)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                healthy = await PolicyClient.connect_unix(socket_path)
+                doomed = await PolicyClient.connect_unix(socket_path)
+                (h_handle,) = await healthy.open(1)
+                (d_handle,) = await doomed.open(1)
+                # Break the doomed peer's server-side transport: every
+                # write now raises like a mid-reply disconnect would.
+                doomed_connection = netserver._connections[1]
+
+                def exploding_write(data):
+                    raise ConnectionResetError("peer vanished mid-reply")
+
+                doomed_connection.writer.write = exploding_write
+                lost = asyncio.create_task(
+                    doomed.decide(d_handle, observation_stream[0])
+                )
+                await asyncio.sleep(0)  # let the doomed request park first
+                # wait_for: with the settle bug, the raise kills the
+                # flush loop and this would hang forever, not fail.
+                action = await asyncio.wait_for(
+                    healthy.decide(h_handle, observation_stream[1]), timeout=5.0
+                )
+                assert 0 <= action < NUM_ACTIONS  # same batch, still settled
+                assert netserver.replies_dropped == 1
+                assert doomed_connection.broken
+                assert doomed_connection.inflight == 0
+                assert len(netserver._waiters) == 0
+                assert netserver.flush_loop_errors == 0
+                lost.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await lost
+                await healthy.close()
+                await doomed.close()
+                summary = await netserver.drain()
+                assert summary["replies_dropped"] == 1
+
+        asyncio.run(scenario())
+
+    def test_drain_with_wedged_backend_completes_cleanly(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """Drain must finish (and answer everyone) even if flush raises.
+
+        Before the fix, a non-ReproError out of the drain flush
+        propagated with the listeners already closed and every
+        connection stranded.
+        """
+
+        async def scenario():
+            server = PolicyServer(
+                _WedgedBackend(CompiledFSMBackend(compiled_policy), failures=10),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            netserver = PolicyNetServer(server, flush_interval=30.0)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                client = await PolicyClient.connect_unix(socket_path)
+                handles = await client.open(2)
+                tasks = [
+                    asyncio.create_task(
+                        client.decide(handle, observation_stream[i])
+                    )
+                    for i, handle in enumerate(handles)
+                ]
+                await asyncio.sleep(0.05)
+                assert server.pending == 2
+                summary = await netserver.drain()
+                assert summary["pending"] == 0
+                assert summary["parked_replies"] == 0
+                assert summary["flush_loop_errors"] == 1
+                for task in tasks:
+                    with pytest.raises(ServingError, match="BACKEND_ERROR"):
+                        await task
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_drain_cancels_parked_tickets_through_the_broker(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """Drain's ``pending == 0`` guarantee must hold in the *broker*.
+
+        With the broker's flush disabled (a stand-in for any path that
+        leaves tickets parked), the old code failed the tickets from
+        the outside — parked replies settled, but the tickets stayed in
+        the broker's pending set and ``pending`` read nonzero after a
+        "clean" drain.  Routing through ``cancel_pending`` makes the
+        guarantee real.
+        """
+
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            netserver = PolicyNetServer(server, flush_interval=30.0)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                client = await PolicyClient.connect_unix(socket_path)
+                handles = await client.open(2)
+                tasks = [
+                    asyncio.create_task(
+                        client.decide(handle, observation_stream[i])
+                    )
+                    for i, handle in enumerate(handles)
+                ]
+                await asyncio.sleep(0.05)
+                assert server.pending == 2
+                server.flush = lambda: 0  # wedge the drain's flush path
+                summary = await netserver.drain()
+                assert summary["pending"] == 0
+                assert summary["parked_replies"] == 0
+                assert server._pending_set == set()
+                for task in tasks:
+                    with pytest.raises(ServingError, match="drained"):
+                        await task
+                assert server.stats().failed == 2
+                await client.close()
+
+        asyncio.run(scenario())

@@ -515,6 +515,106 @@ class TestPolicyServerLifecycleBugs:
         assert server.table.num_active == 1
 
 
+class TestSubmitManyAndCancel:
+    def test_submit_many_matches_per_row_submit(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        encoder = serving_env.observation_encoder
+        batched = PolicyServer(CompiledFSMBackend(compiled_policy), encoder)
+        rowwise = PolicyServer(CompiledFSMBackend(compiled_policy), encoder)
+        b_ids = batched.open_sessions(5)
+        r_ids = rowwise.open_sessions(5)
+        for step in range(3):
+            raw = observation_stream[step : step + 5]
+            many = batched.submit_many(b_ids, raw)
+            batched.flush()
+            singles = [
+                rowwise.submit(int(session), raw[i])
+                for i, session in enumerate(r_ids)
+            ]
+            rowwise.flush()
+            assert [t.action for t in many] == [
+                int(t.result()) for t in singles
+            ]
+
+    def test_submit_many_autoflushes_at_batch_size(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy),
+            serving_env.observation_encoder,
+            max_batch_size=4,
+            initial_capacity=16,
+        )
+        ids = server.open_sessions(10)
+        tickets = server.submit_many(ids, observation_stream[:10])
+        # Two full micro-batches flushed on the way; 2 requests remain.
+        assert server.pending == 2
+        assert sum(t.done for t in tickets) == 8
+        server.flush()
+        assert all(t.done for t in tickets)
+        assert server.stats().batches == 3
+
+    def test_submit_many_validates_shapes_and_duplicates(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        ids = server.open_sessions(3)
+        with pytest.raises(ConfigurationError, match="one row per session"):
+            server.submit_many(ids, observation_stream[:2])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            server.submit_many(
+                [ids[0], ids[0]], observation_stream[:2]
+            )
+        with pytest.raises(ConfigurationError, match="columns"):
+            server.submit_many(ids, observation_stream[:3, :7])
+        assert server.pending == 0
+
+    def test_submit_many_generation_check(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy), serving_env.observation_encoder
+        )
+        ids = server.open_sessions(2)
+        generations = server.table.generation[ids]
+        server.close_sessions([ids[1]])
+        server.open_sessions(1)  # recycles the slot, generation bumped
+        with pytest.raises(StaleSessionError):
+            server.submit_many(
+                ids, observation_stream[:2], expected_generation=generations
+            )
+
+    def test_cancel_pending_fails_tickets_and_clears_queue(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        server = PolicyServer(
+            CompiledFSMBackend(compiled_policy),
+            serving_env.observation_encoder,
+            max_batch_size=64,
+        )
+        ids = server.open_sessions(3)
+        tickets = server.submit_many(ids, observation_stream[:3])
+        assert server.pending == 3
+        assert server.cancel_pending() == 3
+        assert server.pending == 0
+        assert server._pending_set == set()
+        assert all(t.done and t.failed for t in tickets)
+        for ticket in tickets:
+            with pytest.raises(ServingError, match="cancelled"):
+                ticket.result()
+        assert server.stats().failed == 3
+        # The same sessions serve again immediately (no stale state).
+        retry = server.submit_many(ids, observation_stream[:3])
+        assert server.flush() == 3
+        assert all(t.done and not t.failed for t in retry)
+        # Cancelling an empty queue is a no-op.
+        assert server.cancel_pending() == 0
+        assert server.stats().failed == 3
+
+
 class TestSwapBackend:
     def test_swap_same_artifact_migrates_state(
         self, compiled_policy, serving_env, observation_stream
