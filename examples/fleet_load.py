@@ -4,7 +4,8 @@ Run with::
 
     python examples/fleet_load.py [--sessions 2048] [--shard-size 512] \
         [--mode inprocess|socket] [--clients 4] [--seed 42] \
-        [--json report.json] [--verify-determinism]
+        [--json report.json] [--verify-determinism] \
+        [--metrics-out fleet.prom] [--trace-out fleet_trace.jsonl]
 
 Thousands of simulated storage nodes (B-major vector simulator shards)
 hold ``(slot, generation)`` sessions on one micro-batching
@@ -39,6 +40,7 @@ import tempfile
 
 from serve_over_socket import build_artifacts
 
+from repro import telemetry
 from repro.loadgen import (
     FleetDriver,
     FleetSchedule,
@@ -139,6 +141,14 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--json", type=str, default=None)
     parser.add_argument("--verify-determinism", action="store_true")
+    parser.add_argument(
+        "--metrics-out", type=str, default=None,
+        help="write the merged telemetry registry as Prometheus text",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None,
+        help="write the span ring buffer as JSONL (one span per line)",
+    )
     args = parser.parse_args()
 
     runner = run_inprocess if args.mode == "inprocess" else run_socket
@@ -180,6 +190,19 @@ def main() -> int:
     if args.json:
         report.save(args.json)
         print(f"  report written to {args.json}")
+
+    if args.metrics_out:
+        # One exposition covering both the process-global registry (the
+        # broker/netserver/engine series) and the report's own timing
+        # instruments, merged.
+        merged = telemetry.registry().snapshot()
+        merged.merge(report.metrics_snapshot())
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(merged.to_prometheus_text())
+        print(f"  metrics written to {args.metrics_out}")
+    if args.trace_out:
+        spans = telemetry.tracer().export_jsonl(args.trace_out)
+        print(f"  {spans} spans written to {args.trace_out}")
     return 0
 
 

@@ -3,7 +3,13 @@
 Run with::
 
     python examples/serve_over_socket.py [--sessions 200] [--rounds 8] \
-        [--clients 4] [--latency-json out.json]
+        [--clients 4] [--latency-json out.json] \
+        [--metrics-prom out.prom] [--trace-jsonl trace.jsonl]
+
+With ``--metrics-prom`` the run also scrapes the server's ``metrics``
+op twice mid-load (before and after the hot-swap) and fails unless the
+key serving series are present and monotone between the scrapes —
+a closed-loop check that live telemetry actually moves under load.
 
 Stands up the asyncio :class:`PolicyNetServer` on a unix socket with a
 versioned :class:`ArtifactRegistry` (``v1`` = compiled FSM with the GRU
@@ -28,6 +34,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
 from repro.env.environment import StorageAllocationEnv
 from repro.env.reward import RewardConfig
@@ -48,6 +55,19 @@ from repro.storage.migration import NUM_ACTIONS, MigrationAction
 from repro.storage.simulator import StorageSystemConfig
 from repro.utils.serialization import save_json
 from repro.workloads.generator import GeneratorConfig, StandardWorkloadGenerator
+
+
+def _series_total(snapshot: dict, name: str) -> float:
+    """Sum of every labeled series of one metric in a JSON snapshot."""
+    family = snapshot.get(name)
+    if family is None:
+        return 0.0
+    values = []
+    for series in family["series"]:
+        value = series["value"]
+        # Histograms snapshot as a state dict; use the recording count.
+        values.append(value["total"] if isinstance(value, dict) else value)
+    return float(sum(values))
 
 
 def build_artifacts(seed: int):
@@ -133,8 +153,11 @@ async def drive(args) -> None:
 
     swap_round = args.rounds // 2
     start = time.perf_counter()
+    first_scrape = None
     for round_index in range(args.rounds):
         if round_index == swap_round:
+            # Mid-load scrape #1: under live traffic, before the swap.
+            first_scrape = await clients[0].metrics()
             entry = await clients[0].swap("v2", reason="example_blue_green")
             print(f"round {round_index}: hot-swapped "
                   f"{entry['from_backend']} -> {entry['to_backend']} "
@@ -150,11 +173,35 @@ async def drive(args) -> None:
         ])
     elapsed = time.perf_counter() - start
 
+    # Mid-load scrape #2: after the swapped backend served traffic.
+    second_scrape = await clients[0].metrics()
     stats = await clients[0].stats()
     audit = await clients[0].audit()
     for client in clients:
         await client.close()
     summary = await netserver.drain()
+
+    # Telemetry liveness: the key serving series must be present and
+    # monotone between the two in-flight scrapes.
+    for metric in ("serving_decisions_total", "serving_batches_total",
+                   "netserver_requests_total", "serving_batch_size"):
+        if first_scrape is not None and _series_total(first_scrape["json"], metric) <= 0:
+            raise SystemExit(f"first metrics scrape is missing {metric}")
+        if _series_total(second_scrape["json"], metric) <= 0:
+            raise SystemExit(f"second metrics scrape is missing {metric}")
+    if first_scrape is not None:
+        before = _series_total(first_scrape["json"], "serving_decisions_total")
+        after = _series_total(second_scrape["json"], "serving_decisions_total")
+        if after <= before:
+            raise SystemExit(
+                f"serving_decisions_total did not advance between scrapes "
+                f"({before} -> {after})"
+            )
+        print(f"metrics scrape: serving_decisions_total {before:.0f} -> {after:.0f}, "
+              f"swaps {_series_total(second_scrape['json'], 'serving_swaps_total'):.0f}, "
+              f"flush_loop_errors {second_scrape['flush_loop_errors']}")
+    if not second_scrape["prometheus"].startswith("# HELP"):
+        raise SystemExit("prometheus exposition looks malformed")
 
     decisions = stats["decisions"]
     latency = stats["latency"]
@@ -183,6 +230,14 @@ async def drive(args) -> None:
         save_json(args.latency_json, payload)
         print(f"latency histogram written to {args.latency_json}")
 
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+            handle.write(second_scrape["prometheus"])
+        print(f"prometheus exposition written to {args.metrics_prom}")
+    if args.trace_jsonl:
+        spans = telemetry.tracer().export_jsonl(args.trace_jsonl)
+        print(f"{spans} spans written to {args.trace_jsonl}")
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -195,6 +250,10 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--latency-json", type=str, default=None,
                         help="write the latency histogram summary to this path")
+    parser.add_argument("--metrics-prom", type=str, default=None,
+                        help="write the final Prometheus exposition to this path")
+    parser.add_argument("--trace-jsonl", type=str, default=None,
+                        help="write the span ring buffer as JSONL to this path")
     args = parser.parse_args()
     if args.clients < 1 or args.sessions < args.clients:
         raise SystemExit("need at least one session per client")

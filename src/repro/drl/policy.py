@@ -12,6 +12,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.autograd import functional as F
 from repro.autograd.functional import _GEMM_MIN_COLS, log_softmax_np, matmul_rows_np
 from repro.autograd.tensor import Tensor, no_grad
@@ -101,6 +102,33 @@ class BatchedPolicyStepOutput:
         return int(self.actions.shape[0])
 
 
+#: (registry, native counter, numpy counter, fallback gauge) — cached per
+#: default registry so unpickled policies in worker processes resolve the
+#: worker's own instruments, not detached copies of the parent's.
+_kernel_instruments = None
+
+
+def _kernel_telemetry():
+    global _kernel_instruments
+    registry = telemetry.registry()
+    if _kernel_instruments is None or _kernel_instruments[0] is not registry:
+        _kernel_instruments = (
+            registry,
+            registry.counter(
+                "nn_kernel_dispatch_total",
+                help="Inference forward passes by kernel implementation",
+                kernel="native",
+            ),
+            registry.counter("nn_kernel_dispatch_total", kernel="numpy"),
+            registry.gauge(
+                "nn_native_fallback",
+                help="1 when a kernel='native' policy fell back to numpy",
+                aggregation="max",
+            ),
+        )
+    return _kernel_instruments
+
+
 class RecurrentPolicyValueNet(Module):
     """GRU backbone with a policy head and a value head."""
 
@@ -137,6 +165,7 @@ class RecurrentPolicyValueNet(Module):
 
         if not native.native_available():
             self._native_failed = True
+            _kernel_telemetry()[3].set(1.0)
             return None
         self._native = native.NativeGRUPolicyKernel(self)
         return self._native
@@ -184,8 +213,10 @@ class RecurrentPolicyValueNet(Module):
         if self.config.kernel == "native":
             native = self._native_kernel()
             if native is not None:
+                _kernel_telemetry()[1].inc()
                 logits, _, _, values, next_hiddens = native.forward(observations, hiddens)
                 return logits, values, next_hiddens
+        _kernel_telemetry()[2].inc()
         next_hiddens = self.gru.forward_np(observations, hiddens)
         if observations.shape[0] >= 2 and self.config.num_actions >= _GEMM_MIN_COLS:
             # Exactly what matmul_rows_np resolves to for this shape,
@@ -316,6 +347,7 @@ class RecurrentPolicyValueNet(Module):
         if native is not None:
             # Fused C path: gate stack, heads, log-softmax and the
             # normalised probabilities in one call over packed weights.
+            _kernel_telemetry()[1].inc()
             _, sub_log_probs, sub_probs, sub_values, sub_next = native.forward(
                 sub_observations, sub_hiddens
             )

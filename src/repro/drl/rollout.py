@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.drl.policy import GeneratorList, RecurrentPolicyValueNet
 from repro.env.environment import StorageAllocationEnv
 from repro.env.vector_env import VectorStorageAllocationEnv
@@ -457,6 +458,17 @@ class BatchedRolloutCollector:
     def __init__(self, vector_env: VectorStorageAllocationEnv, rng: SeedLike = None) -> None:
         self.vector_env = vector_env
         self._rng = new_rng(rng)
+        self._tracer = telemetry.tracer()
+        metrics = telemetry.registry()
+        self._m_batches = metrics.counter(
+            "rollout_batches_total", help="Lockstep collect_batch calls"
+        )
+        self._m_steps = metrics.counter(
+            "rollout_steps_total", help="Lockstep env intervals stepped during rollout"
+        )
+        self._m_episodes = metrics.counter(
+            "rollout_episodes_total", help="Trajectories collected"
+        )
 
     def collect_batch(
         self,
@@ -559,49 +571,56 @@ class BatchedRolloutCollector:
             # path; the mask is only materialised once slots finish.
             active = None
         t = 0
-        while active is None or active.any():
-            if t == cap:
-                cap *= 2
-                grown = []
-                for buf in (
-                    observations_buf, raw_buf, hidden_buf, actions_buf,
-                    rewards_buf, values_buf, counts_buf,
-                ):
-                    rows = cap + 1 if buf is hidden_buf else cap
-                    wide = np.empty((rows,) + buf.shape[1:], dtype=buf.dtype)
-                    wide[: buf.shape[0]] = buf
-                    grown.append(wide)
-                (observations_buf, raw_buf, hidden_buf, actions_buf,
-                 rewards_buf, values_buf, counts_buf) = grown
-            counts_buf[t] = counts0 if t == 0 else venv.core_counts()
-            output = backend.act_rollout(
-                normalized,
-                hidden,
-                rngs=action_rngs,
-                epsilon=epsilon,
-                greedy=greedy,
-                active=active,
-            )
-            result = venv.step(output.actions)
-            observations_buf[t] = normalized
-            raw_buf[t] = raw
-            hidden_buf[t] = hidden
-            actions_buf[t] = output.actions
-            rewards_buf[t] = result.rewards
-            values_buf[t] = output.values
-            if result.newly_done.any():
-                finished = np.nonzero(result.newly_done)[0]
-                makespans[finished] = result.makespans[finished]
-                truncated[finished] = result.truncated[finished]
-            # act_batch already freezes finished slots' hidden rows (they
-            # keep the input hidden state), so the output advances active
-            # slots and preserves the rest.
-            hidden = output.hidden_states
-            normalized = result.observations
-            raw = result.raw_observations
-            dones = result.dones
-            active = None if not dones.any() else ~dones
-            t += 1
+        with self._tracer.span(
+            "rollout.collect_batch", traces=batch, backend=type(backend).__name__
+        ) as rollout_span:
+            while active is None or active.any():
+                if t == cap:
+                    cap *= 2
+                    grown = []
+                    for buf in (
+                        observations_buf, raw_buf, hidden_buf, actions_buf,
+                        rewards_buf, values_buf, counts_buf,
+                    ):
+                        rows = cap + 1 if buf is hidden_buf else cap
+                        wide = np.empty((rows,) + buf.shape[1:], dtype=buf.dtype)
+                        wide[: buf.shape[0]] = buf
+                        grown.append(wide)
+                    (observations_buf, raw_buf, hidden_buf, actions_buf,
+                     rewards_buf, values_buf, counts_buf) = grown
+                counts_buf[t] = counts0 if t == 0 else venv.core_counts()
+                output = backend.act_rollout(
+                    normalized,
+                    hidden,
+                    rngs=action_rngs,
+                    epsilon=epsilon,
+                    greedy=greedy,
+                    active=active,
+                )
+                result = venv.step(output.actions)
+                observations_buf[t] = normalized
+                raw_buf[t] = raw
+                hidden_buf[t] = hidden
+                actions_buf[t] = output.actions
+                rewards_buf[t] = result.rewards
+                values_buf[t] = output.values
+                if result.newly_done.any():
+                    finished = np.nonzero(result.newly_done)[0]
+                    makespans[finished] = result.makespans[finished]
+                    truncated[finished] = result.truncated[finished]
+                # act_batch already freezes finished slots' hidden rows (they
+                # keep the input hidden state), so the output advances active
+                # slots and preserves the rest.
+                hidden = output.hidden_states
+                normalized = result.observations
+                raw = result.raw_observations
+                dones = result.dones
+                active = None if not dones.any() else ~dones
+                t += 1
+            rollout_span.set("steps", t)
+        self._m_batches.inc()
+        self._m_steps.inc(t)
+        self._m_episodes.inc(batch)
         # A slot's stored-row count equals its makespan: steps_taken
         # advances exactly once per stored interval.
         lengths = makespans

@@ -36,6 +36,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 # parallel.py only imports this module lazily (inside _persistent_pool),
 # so this top-level import is cycle-free.
 from repro.drl.parallel import shard_indices
@@ -58,6 +60,23 @@ _RESULT_POLL_INTERVAL_S = 0.05
 _SHUTDOWN_GRACE_S = 5.0
 
 
+def _drain_worker_telemetry() -> Optional[Dict[str, object]]:
+    """This process's telemetry delta since the last drain (or ``None``).
+
+    Shipped as the fourth element of every successful shard reply;
+    the parent folds the metrics snapshot into its own registry and
+    ingests the spans stamped ``worker=<shard id>``.
+    """
+    registry = telemetry.registry()
+    tracer = telemetry.tracer()
+    if not registry.enabled and not tracer.enabled:
+        return None
+    return {
+        "metrics": registry.drain_snapshot(),
+        "spans": tracer.drain(),
+    }
+
+
 def _worker_main(
     worker_id: int,
     task_queue,
@@ -75,8 +94,9 @@ def _worker_main(
       ``Parameter.assign`` so resident packed-weight caches invalidate);
     * ``("collect", shard_id, indices, traces, base_seed, total,
       epsilon, greedy, version, rng_family)`` — run the shard's episodes
-      in lockstep and reply ``(shard_id, trajectories, None)`` (or
-      ``(shard_id, None, traceback_str)`` on failure);
+      in lockstep and reply ``(shard_id, trajectories, None, telemetry)``
+      (or ``(shard_id, None, traceback_str, None)`` on failure), where
+      ``telemetry`` is this worker's metrics/span delta for the shard;
     * ``("shutdown",)`` — exit the loop.
     """
     policy: Optional[RecurrentPolicyValueNet] = None
@@ -98,7 +118,7 @@ def _worker_main(
                     own[name].assign(value)
                 weights_version = version
             except Exception:  # pragma: no cover - defensive
-                result_queue.put((None, None, traceback.format_exc()))
+                result_queue.put((None, None, traceback.format_exc(), None))
             continue
         if kind == "collect":
             (
@@ -132,12 +152,14 @@ def _worker_main(
                     episode_rngs=episode_shard,
                     action_rngs=action_shard,
                 )
-                result_queue.put((shard_id, trajectories, None))
+                result_queue.put(
+                    (shard_id, trajectories, None, _drain_worker_telemetry())
+                )
             except Exception:
-                result_queue.put((shard_id, None, traceback.format_exc()))
+                result_queue.put((shard_id, None, traceback.format_exc(), None))
             continue
         result_queue.put(
-            (None, None, f"worker {worker_id} got an unknown message kind {kind!r}")
+            (None, None, f"worker {worker_id} got an unknown message kind {kind!r}", None)
         )
 
 
@@ -343,7 +365,7 @@ class PersistentWorkerPool:
             )
         outcomes = self._await_results(len(shards))
         merged: List[Optional[Trajectory]] = [None] * total
-        for shard_id, trajectories, error in outcomes:
+        for shard_id, trajectories, error, shard_telemetry in outcomes:
             if error is not None:
                 # shard_id None marks worker-level failures (weights
                 # application, protocol errors) not tied to one shard.
@@ -367,6 +389,14 @@ class PersistentWorkerPool:
                 )
             for index, trajectory in zip(indices, trajectories):
                 merged[index] = trajectory
+            if shard_telemetry is not None:
+                # Metrics fold by pure addition (no worker label — the
+                # cardinality stays flat); spans keep attribution via a
+                # ``worker=<shard id>`` attribute.
+                telemetry.registry().merge_snapshot(shard_telemetry["metrics"])
+                telemetry.tracer().ingest(
+                    shard_telemetry["spans"], worker=shard_id
+                )
         missing = [i for i, trajectory in enumerate(merged) if trajectory is None]
         if missing:
             self._mark_broken(f"episodes {missing} were never returned")

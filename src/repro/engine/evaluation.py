@@ -21,8 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.agents.base import Agent
 from repro.engine.backends import (
     AgentBatchBackend,
@@ -89,6 +92,20 @@ class EvaluationEngine:
         self.vector_env = VectorStorageAllocationEnv(
             self.system_config, reward_config, record_metrics=True
         )
+        metrics = telemetry.registry()
+        self.tracer = telemetry.tracer()
+        self._m_runs = metrics.counter(
+            "engine_eval_runs_total", help="EvaluationEngine.evaluate calls"
+        )
+        self._m_steps = metrics.counter(
+            "engine_eval_steps_total", help="Lockstep env intervals stepped"
+        )
+        self._m_decisions = metrics.counter(
+            "engine_eval_decisions_total", help="Per-row backend decisions made"
+        )
+        self._m_steps_per_sec = metrics.gauge(
+            "engine_eval_steps_per_sec", help="Lockstep steps/s of the last evaluate"
+        )
 
     def evaluate(
         self,
@@ -134,31 +151,46 @@ class EvaluationEngine:
         if venv.dones.any():
             active = ~venv.dones
         t = 0
-        while active is None or active.any():
-            if t == cap:
-                cap *= 2
-                wide = np.empty((cap, batch))
-                wide[: rewards_buf.shape[0]] = rewards_buf
-                rewards_buf = wide
-            if active is None:
-                actions = np.asarray(
-                    backend.decide(table, slots, raw, normalized), dtype=np.int64
-                )
-            else:
-                rows = np.nonzero(active)[0]
-                actions = np.zeros(batch, dtype=np.int64)
-                actions[rows] = backend.decide(
-                    table, slots[rows], raw[rows], normalized[rows]
-                )
-            result = venv.step(actions)
-            rewards_buf[t] = result.rewards
-            if result.newly_done.any():
-                finished = np.nonzero(result.newly_done)[0]
-                makespans[finished] = result.makespans[finished]
-            normalized = result.observations
-            raw = result.raw_observations
-            active = None if not result.dones.any() else ~result.dones
-            t += 1
+        decisions = 0
+        loop_started = time.perf_counter()
+        with self.tracer.span(
+            "engine.evaluate", backend=backend.name, traces=batch
+        ) as eval_span:
+            while active is None or active.any():
+                if t == cap:
+                    cap *= 2
+                    wide = np.empty((cap, batch))
+                    wide[: rewards_buf.shape[0]] = rewards_buf
+                    rewards_buf = wide
+                if active is None:
+                    actions = np.asarray(
+                        backend.decide(table, slots, raw, normalized), dtype=np.int64
+                    )
+                    decisions += batch
+                else:
+                    rows = np.nonzero(active)[0]
+                    actions = np.zeros(batch, dtype=np.int64)
+                    actions[rows] = backend.decide(
+                        table, slots[rows], raw[rows], normalized[rows]
+                    )
+                    decisions += len(rows)
+                result = venv.step(actions)
+                rewards_buf[t] = result.rewards
+                if result.newly_done.any():
+                    finished = np.nonzero(result.newly_done)[0]
+                    makespans[finished] = result.makespans[finished]
+                normalized = result.observations
+                raw = result.raw_observations
+                active = None if not result.dones.any() else ~result.dones
+                t += 1
+            eval_span.set("steps", t)
+            eval_span.set("decisions", decisions)
+        elapsed = time.perf_counter() - loop_started
+        self._m_runs.inc()
+        self._m_steps.inc(t)
+        self._m_decisions.inc(decisions)
+        if elapsed > 0.0:
+            self._m_steps_per_sec.set(t / elapsed)
 
         end_sessions = getattr(backend, "end_sessions", None)
         if end_sessions is not None:

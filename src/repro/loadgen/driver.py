@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.env.vector_env import VectorStorageAllocationEnv
 from repro.errors import ConfigurationError, ReproError, ServingError, StaleSessionError
 from repro.loadgen.report import LoadReport
@@ -316,46 +317,51 @@ class FleetDriver:
                 # phase, so the same tenants surge together every step.
                 draws = self._burst_streams.uniforms()
                 burst_mask = draws < phase.burst_tenant_fraction
-            for step in range(phase.steps):
-                for shard_index, shard in enumerate(self._shards):
-                    serials: np.ndarray = shard["serials"]
-                    env: VectorStorageAllocationEnv = shard["env"]
-                    raw = env.raw_observations()
-                    actions = await self.transport.decide_wave(
-                        self._slots[serials], self._gens[serials], raw, hist
-                    )
-                    counters["decisions"] += int(actions.shape[0])
-                    digest.update(
-                        _PACK.pack(0, phase_index, step, shard_index)
-                    )
-                    digest.update(actions.tobytes())
-                    shard_burst = burst_mask[serials]
-                    if shard_burst.any():
-                        extra = serials[shard_burst]
-                        for _ in range(phase.burst_multiplier - 1):
-                            probe_actions = await self.transport.decide_wave(
-                                self._slots[extra],
-                                self._gens[extra],
-                                raw[shard_burst],
-                                hist,
-                            )
-                            counters["probe_decisions"] += int(
-                                probe_actions.shape[0]
-                            )
-                            digest.update(probe_actions.tobytes())
-                    env.step(actions)
-                    if (
-                        env.all_done
-                        or env.dones.mean() >= schedule.recycle_threshold
-                    ):
-                        shard["epoch"] += 1
-                        self._reset_shard(shard)
-                        report.recycles += 1
-                await self._churn_step(phase, counters, digest)
-                await self._stale_probes(phase, counters, digest)
-                occupancy = await self.transport.active_sessions()
-                report.occupancy_timeline.append(occupancy)
-                digest.update(_PACK.pack(1, phase_index, step, occupancy))
+            with telemetry.span(
+                "fleet.phase", name=phase.name, steps=phase.steps
+            ) as phase_span:
+                for step in range(phase.steps):
+                    for shard_index, shard in enumerate(self._shards):
+                        serials: np.ndarray = shard["serials"]
+                        env: VectorStorageAllocationEnv = shard["env"]
+                        raw = env.raw_observations()
+                        actions = await self.transport.decide_wave(
+                            self._slots[serials], self._gens[serials], raw, hist
+                        )
+                        counters["decisions"] += int(actions.shape[0])
+                        digest.update(
+                            _PACK.pack(0, phase_index, step, shard_index)
+                        )
+                        digest.update(actions.tobytes())
+                        shard_burst = burst_mask[serials]
+                        if shard_burst.any():
+                            extra = serials[shard_burst]
+                            for _ in range(phase.burst_multiplier - 1):
+                                probe_actions = await self.transport.decide_wave(
+                                    self._slots[extra],
+                                    self._gens[extra],
+                                    raw[shard_burst],
+                                    hist,
+                                )
+                                counters["probe_decisions"] += int(
+                                    probe_actions.shape[0]
+                                )
+                                digest.update(probe_actions.tobytes())
+                        env.step(actions)
+                        if (
+                            env.all_done
+                            or env.dones.mean() >= schedule.recycle_threshold
+                        ):
+                            shard["epoch"] += 1
+                            self._reset_shard(shard)
+                            report.recycles += 1
+                    await self._churn_step(phase, counters, digest)
+                    await self._stale_probes(phase, counters, digest)
+                    occupancy = await self.transport.active_sessions()
+                    report.occupancy_timeline.append(occupancy)
+                    digest.update(_PACK.pack(1, phase_index, step, occupancy))
+                phase_span.set("decisions", counters["decisions"])
+                phase_span.set("probe_decisions", counters["probe_decisions"])
             report.finish_phase(counters, time.perf_counter() - phase_start)
         report.elapsed_seconds = time.perf_counter() - run_start
         report.digest = digest.hexdigest()

@@ -11,7 +11,10 @@ A :class:`LoadReport` is split in two on purpose:
 * ``timing`` — wall-clock rates and latency percentiles (per phase and
   overall), which legitimately vary run to run and are reported for
   humans and the benchmark regression guard, never compared for
-  equality.
+  equality.  The timing section is backed by the report's own
+  always-enabled :class:`~repro.telemetry.MetricsRegistry` — the same
+  instruments serve ``timing_dict()`` (schema unchanged) and
+  :meth:`metrics_snapshot` / Prometheus exposition.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
-from repro.serving.server import LatencyHistogram
+from repro.telemetry import LatencyHistogram, MetricsRegistry, MetricsSnapshot
 from repro.utils.serialization import save_json
 
 __all__ = ["LoadReport"]
@@ -34,8 +37,15 @@ class LoadReport:
         self.occupancy_timeline: List[int] = []
         self.recycles = 0
         self.digest: Optional[str] = None
+        # The report's registry is always enabled, independent of the
+        # process-global telemetry switch: timing is part of the report
+        # contract, not optional observability.
+        self.metrics = MetricsRegistry(enabled=True)
         self.phase_latency: Dict[str, LatencyHistogram] = {}
-        self.latency = LatencyHistogram()
+        self.latency = self.metrics.histogram(
+            "fleet_request_latency_seconds",
+            help="Per-request latency over the whole run",
+        )
         self.phase_seconds: Dict[str, float] = {}
         self.elapsed_seconds = 0.0
         self.server_summary: Dict[str, object] = {}
@@ -44,13 +54,32 @@ class LoadReport:
     # Accumulation (driver-facing)
     # ------------------------------------------------------------------
     def begin_phase(self, name: str) -> LatencyHistogram:
-        self.phase_latency[name] = LatencyHistogram()
-        return self.phase_latency[name]
+        hist = self.metrics.histogram(
+            "fleet_wave_latency_seconds",
+            help="Per-request latency by schedule phase",
+            phase=name,
+        )
+        # Re-running a phase name restarts its series (the old recordings
+        # were already merged into the overall histogram).
+        hist.reset()
+        self.phase_latency[name] = hist
+        return hist
 
     def finish_phase(self, counters: Dict[str, int], seconds: float) -> None:
         self.phases.append(dict(counters))
-        self.phase_seconds[str(counters["name"])] = float(seconds)
-        self.latency.merge(self.phase_latency[str(counters["name"])])
+        name = str(counters["name"])
+        self.phase_seconds[name] = float(seconds)
+        self.latency.merge(self.phase_latency[name])
+        self.metrics.gauge(
+            "fleet_phase_seconds",
+            help="Wall-clock seconds by schedule phase",
+            phase=name,
+        ).set(float(seconds))
+        self.metrics.counter(
+            "fleet_decisions_total",
+            help="Decisions driven (incl. burst probes) by schedule phase",
+            phase=name,
+        ).inc(int(counters.get("decisions", 0)) + int(counters.get("probe_decisions", 0)))
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -96,11 +125,25 @@ class LoadReport:
             "per_phase": per_phase,
         }
 
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The run's timing instruments as a mergeable telemetry snapshot."""
+        self.metrics.gauge(
+            "fleet_elapsed_seconds", help="Wall-clock seconds of the whole run"
+        ).set(float(self.elapsed_seconds))
+        self.metrics.gauge(
+            "fleet_recycles", help="Shard recycles over the run"
+        ).set(float(self.recycles))
+        return self.metrics.snapshot()
+
+    def to_prometheus_text(self) -> str:
+        return self.metrics_snapshot().to_prometheus_text()
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "config": dict(self.config),
             "deterministic": self.deterministic_dict(),
             "timing": self.timing_dict(),
+            "telemetry": self.metrics_snapshot().as_dict(),
             "server": dict(self.server_summary),
         }
 

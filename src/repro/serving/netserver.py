@@ -67,6 +67,7 @@ from repro.errors import ConfigurationError, ReproError, ServingError, StaleSess
 from repro.serving.artifacts import ArtifactRegistry
 from repro.serving.server import DecisionTicket, PolicyServer
 from repro.serving.shadow import FidelityAlarm
+from repro import telemetry
 
 try:  # optional dependency — JSON is the always-available codec
     import msgpack  # type: ignore
@@ -240,6 +241,49 @@ class PolicyNetServer:
         self.replies_dropped = 0
         self.flush_loop_errors = 0
         self.last_flush_error: Optional[str] = None
+        # Telemetry rides the broker's registry, so one ``metrics``
+        # scrape exposes broker + front-door series together.  Per-op
+        # and per-error-code counters are pre-resolved for every label
+        # value the server can emit (bounded cardinality by design;
+        # unknown ops count under "other").
+        self.metrics = server.metrics
+        self._m_requests: Dict[str, object] = {
+            op: self.metrics.counter(
+                "netserver_requests_total", "Frames dispatched, by op", op=op
+            )
+            for op in (
+                "decide", "open", "close", "stats", "metrics",
+                "versions", "swap", "audit", "ping", "other",
+            )
+        }
+        self._m_errors: Dict[str, object] = {
+            code: self.metrics.counter(
+                "netserver_error_replies_total",
+                "Error replies sent, by structured code",
+                code=code,
+            )
+            for code in (
+                "BUSY", "STALE_SESSION", "BAD_REQUEST",
+                "BACKEND_ERROR", "DRAINING",
+            )
+        }
+        self._m_connections = self.metrics.counter(
+            "netserver_connections_total", "Connections accepted"
+        )
+        self._m_connections_open = self.metrics.gauge(
+            "netserver_connections_open", "Currently open connections"
+        )
+        self._m_replies_dropped = self.metrics.counter(
+            "netserver_replies_dropped_total",
+            "Replies dropped on closed/broken peers",
+        )
+        self._m_flush_errors = self.metrics.counter(
+            "netserver_flush_loop_errors_total",
+            "Flush-loop ticks that hit an unexpected fault",
+        )
+        self._m_parked = self.metrics.gauge(
+            "netserver_parked_replies", "Replies parked on pending tickets"
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -295,6 +339,7 @@ class PolicyNetServer:
             pass
         except Exception as exc:
             self.flush_loop_errors += 1
+            self._m_flush_errors.inc()
             self.last_flush_error = f"{type(exc).__name__}: {exc}"
         self._settle()
         # Anything still unresolved is cancelled *in the broker* —
@@ -411,6 +456,7 @@ class PolicyNetServer:
                 # every queued request hung until drain.  Count it,
                 # remember it for ``summary()``, keep flushing.
                 self.flush_loop_errors += 1
+                self._m_flush_errors.inc()
                 self.last_flush_error = f"{type(exc).__name__}: {exc}"
 
     def _settle(self) -> None:
@@ -431,6 +477,7 @@ class PolicyNetServer:
                     f"decision failed: {ticket._error}",
                     waiter.request_id,
                 )
+                self._m_errors["BACKEND_ERROR"].inc()
             else:
                 reply = {"ok": True, "action": int(ticket.result())}
                 if waiter.request_id is not None:
@@ -441,7 +488,9 @@ class PolicyNetServer:
                 # Closed or broken peer: its reply is dropped (counted),
                 # everyone else's in this batch still settles.
                 self.replies_dropped += 1
+                self._m_replies_dropped.inc()
         self._waiters = unresolved
+        self._m_parked.set(len(unresolved))
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -452,6 +501,8 @@ class PolicyNetServer:
         connection = _Connection(writer)
         self._connections.append(connection)
         self.connections_total += 1
+        self._m_connections.inc()
+        self._m_connections_open.set(len(self._connections))
         try:
             while not self._draining:
                 try:
@@ -468,14 +519,66 @@ class PolicyNetServer:
         finally:
             await self._close_connection(connection)
 
+    def _send_error(
+        self,
+        connection: _Connection,
+        codec: int,
+        code: str,
+        message: str,
+        request_id: object,
+    ) -> None:
+        """Send one structured error reply, counted by code."""
+        counter = self._m_errors.get(code)
+        if counter is not None:
+            counter.inc()
+        connection.send(_error_reply(code, message, request_id), codec)
+
+    def _op_metrics(self) -> Dict[str, object]:
+        """Both expositions of the shared registry, liveness gauges fresh.
+
+        ``last_flush_error`` rides along verbatim (error strings are
+        unbounded, so they never become label values — the counter
+        series ``netserver_flush_loop_errors_total`` carries the count,
+        this field carries the most recent cause).
+        """
+        self.metrics.gauge(
+            "netserver_parked_replies"
+        ).set(len(self._waiters))
+        self.metrics.gauge(
+            "netserver_connections_open"
+        ).set(len(self._connections))
+        self.metrics.gauge(
+            "serving_sessions_active", "Open sessions in the table"
+        ).set(self.server.table.num_active)
+        self.metrics.gauge(
+            "serving_sessions_peak",
+            "Peak concurrently open sessions",
+            aggregation="max",
+        ).set(self.server.table.peak_active)
+        self.metrics.gauge(
+            "serving_pending_requests", "Requests queued in the broker"
+        ).set(self.server.pending)
+        snapshot = self.metrics.snapshot()
+        return {
+            "prometheus": snapshot.to_prometheus_text(),
+            "json": snapshot.as_dict(),
+            "last_flush_error": self.last_flush_error,
+            "flush_loop_errors": self.flush_loop_errors,
+        }
+
     def _dispatch(
         self, connection: _Connection, codec: int, request: Dict[str, object]
     ) -> None:
         request_id = request.get("id")
         op = request.get("op")
+        counter = self._m_requests.get(op if isinstance(op, str) else "other")
+        (counter if counter is not None else self._m_requests["other"]).inc()
         try:
             if op == "decide":
                 self._op_decide(connection, codec, request, request_id)
+            elif op == "metrics":
+                exposition = self._op_metrics()
+                self._reply(connection, codec, request_id, metrics=exposition)
             elif op == "open":
                 count = int(request.get("count", 1))
                 slots = self.server.open_sessions(count)
@@ -515,19 +618,18 @@ class PolicyNetServer:
             elif op == "ping":
                 self._reply(connection, codec, request_id, pong=True)
             else:
-                connection.send(
-                    _error_reply("BAD_REQUEST", f"unknown op {op!r}", request_id),
-                    codec,
+                self._send_error(
+                    connection, codec, "BAD_REQUEST", f"unknown op {op!r}", request_id
                 )
         except StaleSessionError as exc:
-            connection.send(_error_reply("STALE_SESSION", str(exc), request_id), codec)
+            self._send_error(connection, codec, "STALE_SESSION", str(exc), request_id)
         except ReproError as exc:
-            connection.send(_error_reply("BAD_REQUEST", str(exc), request_id), codec)
+            self._send_error(connection, codec, "BAD_REQUEST", str(exc), request_id)
         except (KeyError, TypeError, ValueError) as exc:
             self.protocol_errors += 1
-            connection.send(
-                _error_reply("BAD_REQUEST", f"malformed request: {exc}", request_id),
-                codec,
+            self._send_error(
+                connection, codec, "BAD_REQUEST",
+                f"malformed request: {exc}", request_id,
             )
 
     def _op_decide(
@@ -538,20 +640,19 @@ class PolicyNetServer:
         request_id: object,
     ) -> None:
         if self._draining:
-            connection.send(
-                _error_reply("DRAINING", "server is draining", request_id), codec
+            self._send_error(
+                connection, codec, "DRAINING", "server is draining", request_id
             )
             return
         if connection.inflight >= self.max_inflight:
             self.busy_rejections += 1
-            connection.send(
-                _error_reply(
-                    "BUSY",
-                    f"connection has {connection.inflight} requests in flight "
-                    f"(limit {self.max_inflight})",
-                    request_id,
-                ),
+            self._send_error(
+                connection,
                 codec,
+                "BUSY",
+                f"connection has {connection.inflight} requests in flight "
+                f"(limit {self.max_inflight})",
+                request_id,
             )
             return
         slot, generation = self._parse_handle(request["handle"])
@@ -619,6 +720,7 @@ class PolicyNetServer:
         connection.closed = True
         if connection in self._connections:
             self._connections.remove(connection)
+        self._m_connections_open.set(len(self._connections))
         # Requests this connection is still waiting on keep their queue
         # slots (the micro-batch must stay intact for everyone else);
         # their replies are simply dropped at settle time.
@@ -747,6 +849,10 @@ class PolicyClient:
 
     async def stats(self) -> Dict[str, object]:
         return (await self._checked({"op": "stats"}))["stats"]
+
+    async def metrics(self) -> Dict[str, object]:
+        """Scrape the server's telemetry: Prometheus text + JSON snapshot."""
+        return (await self._checked({"op": "metrics"}))["metrics"]
 
     async def versions(self) -> Dict[str, object]:
         reply = await self._checked({"op": "versions"})

@@ -42,6 +42,14 @@ from repro.engine.sessions import GenerationLike, SessionTable
 from repro.env.observation import OBSERVATION_DIM, ObservationEncoder
 from repro.errors import ConfigurationError, ServingError
 from repro.storage.migration import MigrationAction
+from repro import telemetry
+
+# ``LatencyHistogram`` was born in this module (PR 7) and moved to the
+# telemetry package when the unified metrics registry landed; this
+# re-export keeps historical ``from repro.serving.server import
+# LatencyHistogram`` imports working (same pattern as the PR 8 engine
+# move), pinned by tests/test_telemetry.py.
+from repro.telemetry import LatencyHistogram, MetricsRegistry, Tracer
 
 __all__ = [
     "AgentBatchBackend",
@@ -102,88 +110,6 @@ class DecisionTicket:
         return MigrationAction(self._action)
 
 
-class LatencyHistogram:
-    """Fixed-bucket log-scale latency histogram (SLO accounting).
-
-    64 geometric buckets from 1 µs up (factor 1.5 per bucket, covering
-    far past any realistic request latency), plus exact count / sum /
-    max, so recording is O(1), merging is addition, and percentile
-    estimates are conservative (each falls on its bucket's **upper**
-    edge — the SLO-safe direction).
-    """
-
-    NUM_BUCKETS = 64
-    BASE = 1e-6
-    FACTOR = 1.5
-
-    def __init__(self) -> None:
-        # bounds[i] is bucket i's inclusive upper edge; the last bucket
-        # is open-ended.
-        self.bounds = self.BASE * self.FACTOR ** np.arange(self.NUM_BUCKETS - 1)
-        self.counts = np.zeros(self.NUM_BUCKETS, dtype=np.int64)
-        self.total = 0
-        self.sum_seconds = 0.0
-        self.max_seconds = 0.0
-
-    def record(self, seconds: float) -> None:
-        index = int(self.bounds.searchsorted(seconds))
-        self.counts[index] += 1
-        self.total += 1
-        self.sum_seconds += seconds
-        if seconds > self.max_seconds:
-            self.max_seconds = seconds
-
-    def record_many(self, seconds: np.ndarray) -> None:
-        seconds = np.asarray(seconds, dtype=float)
-        if seconds.size == 0:
-            return
-        indices = self.bounds.searchsorted(seconds)
-        self.counts += np.bincount(indices, minlength=self.NUM_BUCKETS)
-        self.total += int(seconds.size)
-        self.sum_seconds += float(seconds.sum())
-        self.max_seconds = max(self.max_seconds, float(seconds.max()))
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        """Fold ``other``'s recordings into this histogram (pure addition)."""
-        self.counts += other.counts
-        self.total += other.total
-        self.sum_seconds += other.sum_seconds
-        self.max_seconds = max(self.max_seconds, other.max_seconds)
-
-    @property
-    def mean_seconds(self) -> float:
-        return self.sum_seconds / self.total if self.total else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Upper-edge estimate of the ``q``-th percentile (q in [0, 100])."""
-        if self.total == 0:
-            return 0.0
-        rank = max(1, int(np.ceil(self.total * q / 100.0)))
-        cumulative = np.cumsum(self.counts)
-        index = int(cumulative.searchsorted(rank))
-        if index >= self.bounds.shape[0]:
-            return self.max_seconds
-        return float(min(self.bounds[index], self.max_seconds))
-
-    def fraction_within(self, slo_seconds: float) -> float:
-        """Fraction of requests at or under ``slo_seconds`` (conservative)."""
-        if self.total == 0:
-            return 1.0
-        index = int(self.bounds.searchsorted(slo_seconds, side="right"))
-        within = int(self.counts[:index].sum())
-        return within / self.total
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "count": self.total,
-            "mean_ms": round(self.mean_seconds * 1e3, 4),
-            "p50_ms": round(self.percentile(50) * 1e3, 4),
-            "p95_ms": round(self.percentile(95) * 1e3, 4),
-            "p99_ms": round(self.percentile(99) * 1e3, 4),
-            "max_ms": round(self.max_seconds * 1e3, 4),
-        }
-
-
 @dataclass
 class ServerStats:
     """Aggregate serving counters (reported by :meth:`PolicyServer.stats`)."""
@@ -241,6 +167,8 @@ class PolicyServer:
         encoder: ObservationEncoder,
         max_batch_size: int = 256,
         initial_capacity: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
@@ -260,6 +188,46 @@ class PolicyServer:
         # when the micro-batch size changes, so steady-state serving is
         # allocation-free and fluctuating batch sizes stay bounded.
         self._normalize_buffer: Optional[np.ndarray] = None
+        # Telemetry: instruments are resolved once here, so the hot
+        # paths below record through plain attribute calls (no dict
+        # lookups) and a disabled registry costs one no-op call.
+        self.metrics = metrics if metrics is not None else telemetry.registry()
+        self.tracer = tracer if tracer is not None else telemetry.tracer()
+        self._m_decisions = self.metrics.counter(
+            "serving_decisions_total", "Decisions served by the broker"
+        )
+        self._m_batches = self.metrics.counter(
+            "serving_batches_total", "Backend micro-batch calls"
+        )
+        self._m_failed = self.metrics.counter(
+            "serving_failed_total", "Tickets failed (backend faults + cancels)"
+        )
+        self._m_cancelled = self.metrics.counter(
+            "serving_cancelled_total", "Tickets cancelled before a decision"
+        )
+        self._m_swaps = self.metrics.counter(
+            "serving_swaps_total", "Blue/green backend swaps"
+        )
+        self._m_batch_size = self.metrics.histogram(
+            "serving_batch_size",
+            "Micro-batch size distribution",
+            num_buckets=16,
+            base=1.0,
+            factor=2.0,
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "serving_queue_depth", "Queued requests at the last flush"
+        )
+        self._m_queue_peak = self.metrics.gauge(
+            "serving_queue_depth_peak",
+            "Deepest micro-batch queue observed",
+            aggregation="max",
+        )
+        self.metrics.gauge(
+            "serving_backend_info",
+            "1 for the mounted decision backend",
+            backend=backend.name,
+        ).set(1.0)
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -387,6 +355,8 @@ class PolicyServer:
         for ticket in tickets:
             ticket.fail(error)
         self._stats.failed += len(tickets)
+        self._m_failed.inc(len(tickets))
+        self._m_cancelled.inc(len(tickets))
         return len(tickets)
 
     def flush(self) -> int:
@@ -408,12 +378,18 @@ class PolicyServer:
         self._pending_raw = []
         self._pending_tickets = []
         self._pending_set = set()
+        depth = int(slots.shape[0])
+        self._m_queue_depth.set(depth)
+        self._m_queue_peak.set(depth)
         try:
-            actions = self._decide(slots, raw)
+            with self.tracer.span("broker.flush", batch=depth) as flush_span:
+                actions = self._decide(slots, raw)
+                flush_span.set("backend", self.backend.name)
         except Exception as exc:
             for ticket in tickets:
                 ticket.fail(exc)
             self._stats.failed += len(tickets)
+            self._m_failed.inc(len(tickets))
             raise
         for ticket, action in zip(tickets, actions.tolist()):
             ticket._action = int(action)
@@ -464,12 +440,16 @@ class PolicyServer:
         actions = self.backend.decide(self.table, slots, raw, normalized)
         # ``slots`` were validated by the caller; count directly.
         self.table.steps[slots] += 1
-        self._stats.decisions += int(slots.shape[0])
+        batch = int(slots.shape[0])
+        self._stats.decisions += batch
         self._stats.batches += 1
-        self._stats.max_batch = max(self._stats.max_batch, int(slots.shape[0]))
+        self._stats.max_batch = max(self._stats.max_batch, batch)
         self._stats.action_counts += np.bincount(
             actions, minlength=self._stats.action_counts.shape[0]
         )
+        self._m_decisions.inc(batch)
+        self._m_batches.inc()
+        self._m_batch_size.observe(batch)
         return actions
 
     def stats(self) -> ServerStats:
@@ -527,6 +507,13 @@ class PolicyServer:
         self.backend = backend
         self.table = new_table
         self._stats.swaps += 1
+        self._m_swaps.inc()
+        self.metrics.gauge(
+            "serving_backend_info", backend=old_backend.name
+        ).set(0.0)
+        self.metrics.gauge(
+            "serving_backend_info", backend=backend.name
+        ).set(1.0)
         return {
             "from_backend": old_backend.name,
             "to_backend": backend.name,

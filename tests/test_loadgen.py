@@ -249,7 +249,9 @@ class TestFleetDriver:
         path = tmp_path / "fleet.json"
         report.save(path)
         payload = json.loads(path.read_text())
-        assert set(payload) == {"config", "deterministic", "timing", "server"}
+        assert set(payload) == {
+            "config", "deterministic", "timing", "telemetry", "server"
+        }
         assert payload["config"]["schedule_digest"] == _small_schedule().digest()
         assert payload["deterministic"]["digest"] == report.digest
         assert payload["timing"]["latency"]["count"] > 0

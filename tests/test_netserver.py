@@ -14,6 +14,7 @@ import tempfile
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.drl.policy import PolicyConfig, RecurrentPolicyValueNet
 from repro.env.environment import StorageAllocationEnv
 from repro.env.reward import RewardConfig
@@ -726,5 +727,111 @@ class TestServingHardening:
                         await task
                 assert server.stats().failed == 2
                 await client.close()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# PR 10 telemetry: the ``metrics`` socket op + flush-health surfacing
+# ----------------------------------------------------------------------
+class TestMetricsOp:
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        # These tests pin exact series values, and every server in the
+        # process shares the default registry — start each from zero.
+        telemetry.configure(enabled=True)
+        yield
+        telemetry.configure(enabled=True)
+
+    def test_metrics_op_serves_both_expositions(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """A live server answers ``metrics`` with Prometheus text + JSON
+        covering the broker and netserver series, moving under traffic."""
+
+        async def scenario():
+            server = PolicyServer(
+                CompiledFSMBackend(compiled_policy),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.002)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                client = await PolicyClient.connect_unix(socket_path)
+                handles = await client.open(3)
+                for index, handle in enumerate(handles):
+                    await client.decide(handle, observation_stream[index])
+                first = await client.metrics()
+                for index, handle in enumerate(handles):
+                    await client.decide(handle, observation_stream[index + 3])
+
+                second = await client.metrics()
+                prom = second["prometheus"]
+                assert "# TYPE serving_decisions_total counter" in prom
+                assert "# TYPE serving_batch_size summary" in prom
+                assert 'netserver_requests_total{op="decide"} 6' in prom
+                assert "serving_queue_depth_peak" in prom
+
+                def value(payload, name, **labels):
+                    for series in payload["json"][name]["series"]:
+                        if series["labels"] == labels:
+                            return series["value"]
+                    raise AssertionError(f"{name} {labels} missing")
+
+                # Monotone between in-flight scrapes.
+                assert value(first, "serving_decisions_total") == 3
+                assert value(second, "serving_decisions_total") == 6
+                assert value(second, "netserver_requests_total", op="metrics") == 2
+                backend = server.backend.name
+                assert value(second, "serving_backend_info", backend=backend) == 1.0
+                # Flush health rides along even when all is well.
+                assert second["flush_loop_errors"] == 0
+                assert second["last_flush_error"] is None
+                await client.close()
+                await netserver.drain()
+
+        asyncio.run(scenario())
+
+    def test_metrics_and_stats_surface_flush_loop_faults(
+        self, compiled_policy, serving_env, observation_stream
+    ):
+        """The once-silent flush-loop drop is observable from both ops."""
+
+        async def scenario():
+            server = PolicyServer(
+                _WedgedBackend(CompiledFSMBackend(compiled_policy), failures=1),
+                serving_env.observation_encoder,
+                max_batch_size=1024,
+            )
+            netserver = PolicyNetServer(server, flush_interval=0.002)
+            with _socket_dir() as socket_path:
+                await netserver.start(unix_path=socket_path)
+                client = await PolicyClient.connect_unix(socket_path)
+                (handle,) = await client.open(1)
+                with pytest.raises(ServingError, match="BACKEND_ERROR"):
+                    await client.decide(handle, observation_stream[0])
+                # Recovered: later requests are served...
+                action = await asyncio.wait_for(
+                    client.decide(handle, observation_stream[1]), timeout=5.0
+                )
+                assert 0 <= action < NUM_ACTIONS
+                # ...but the fault stays visible through BOTH ops.
+                stats = await client.stats()
+                assert stats["flush_loop_errors"] == 1
+                assert "RuntimeError" in stats["last_flush_error"]
+                exposition = await client.metrics()
+                assert exposition["flush_loop_errors"] == 1
+                assert "RuntimeError" in exposition["last_flush_error"]
+                assert "netserver_flush_loop_errors_total 1" in exposition["prometheus"]
+                errors = {
+                    tuple(sorted(series["labels"].items())): series["value"]
+                    for series in exposition["json"][
+                        "netserver_error_replies_total"
+                    ]["series"]
+                }
+                assert errors[(("code", "BACKEND_ERROR"),)] >= 1
+                await client.close()
+                await netserver.drain()
 
         asyncio.run(scenario())

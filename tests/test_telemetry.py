@@ -1,0 +1,361 @@
+"""Tests for the unified telemetry subsystem (metrics registry + tracer).
+
+Covers the registry semantics (get-or-create instruments, labels,
+snapshot/merge/pickle, Prometheus text), the bounded span ring, the
+process-default switchboard (``configure``), the ``LatencyHistogram``
+promotion shim, and the serving integration: instruments moving under
+broker traffic and the ``metrics`` socket op of a live netserver —
+including the flush-loop health fields that used to be drop-only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.drl.rollout import BatchedRolloutCollector
+from repro.drl.worker_pool import PersistentWorkerPool
+from repro.env.vector_env import VectorStorageAllocationEnv
+from repro.errors import ServingError
+from repro.telemetry import (
+    LatencyHistogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tracer,
+)
+
+
+@pytest.fixture
+def fresh_defaults():
+    """Swap in fresh process defaults; restore enabled defaults after."""
+    telemetry.configure(enabled=True)
+    try:
+        yield
+    finally:
+        telemetry.configure(enabled=True)
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("requests_total", help="Requests")
+        assert registry.counter("requests_total") is counter
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot().value("requests_total") == 5
+
+    def test_labeled_series_are_distinct(self):
+        registry = MetricsRegistry(enabled=True)
+        ok = registry.counter("replies_total", code="OK")
+        bad = registry.counter("replies_total", code="BAD_REQUEST")
+        assert ok is not bad
+        ok.inc(2)
+        bad.inc()
+        snapshot = registry.snapshot()
+        assert snapshot.value("replies_total", code="OK") == 2
+        assert snapshot.value("replies_total", code="BAD_REQUEST") == 1
+        # Label order does not matter for lookup.
+        multi = registry.counter("multi_total", b="2", a="1")
+        assert registry.counter("multi_total", a="1", b="2") is multi
+
+    def test_gauge_aggregations(self):
+        registry = MetricsRegistry(enabled=True)
+        last = registry.gauge("depth")
+        last.set(3)
+        last.set(1)
+        assert registry.snapshot().value("depth") == 1.0
+        peak = registry.gauge("depth_peak", aggregation="max")
+        peak.set(5)
+        peak.set(2)  # max-gauge ignores lower values
+        assert registry.snapshot().value("depth_peak") == 5.0
+        total = registry.gauge("load", aggregation="sum")
+        total.inc(2.5)
+        total.inc(1.5)
+        assert registry.snapshot().value("load") == 4.0
+
+    def test_histogram_records_and_custom_bucketing(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("batch_size", num_buckets=8, base=1.0, factor=2.0)
+        assert registry.histogram(
+            "batch_size", num_buckets=8, base=1.0, factor=2.0
+        ) is hist
+        for size in (1, 2, 4, 64):
+            hist.observe(size)
+        assert hist.total == 4
+        with pytest.raises(ValueError):
+            registry.histogram("batch_size")  # default bucketing mismatch
+
+    def test_invalid_names_and_kind_clashes(self):
+        registry = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        registry.counter("taken_total")
+        with pytest.raises(ValueError):
+            registry.gauge("taken_total")
+
+    def test_disabled_registry_hands_out_shared_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        a = registry.counter("x_total")
+        b = registry.counter("y_total")
+        assert a is b  # shared singleton
+        a.inc()
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(0.5)
+        assert registry.snapshot().names() == []
+        assert registry.to_prometheus_text() == ""
+
+
+class TestSnapshotMergeAndExposition:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("decisions_total", help="Decisions", backend="fsm").inc(7)
+        registry.gauge("depth_peak", aggregation="max").set(4)
+        registry.histogram("latency_seconds").record(0.001)
+        return registry
+
+    def test_merge_adds_counters_and_histograms(self):
+        first = self._populated().snapshot()
+        second = self._populated().snapshot()
+        first.merge(second)
+        assert first.value("decisions_total", backend="fsm") == 14
+        assert first.value("latency_seconds")["total"] == 2
+        assert first.value("depth_peak") == 4.0
+
+    def test_merge_into_registry(self):
+        registry = self._populated()
+        registry.merge_snapshot(self._populated().snapshot())
+        snapshot = registry.snapshot()
+        assert snapshot.value("decisions_total", backend="fsm") == 14
+        assert snapshot.value("latency_seconds")["total"] == 2
+
+    def test_snapshot_pickles(self):
+        snapshot = self._populated().snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.value("decisions_total", backend="fsm") == 7
+        assert clone.as_dict() == snapshot.as_dict()
+
+    def test_prometheus_text_format(self):
+        text = self._populated().to_prometheus_text()
+        assert "# HELP decisions_total Decisions" in text
+        assert "# TYPE decisions_total counter" in text
+        assert 'decisions_total{backend="fsm"} 7' in text
+        assert "# TYPE depth_peak gauge" in text
+        # Histograms render as Prometheus summaries, not 64 buckets.
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.99"}' in text
+        assert "latency_seconds_count 1" in text
+        assert "latency_seconds_max" in text
+        assert "_bucket" not in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("odd_total", kind='quo"te\\path').inc()
+        text = registry.to_prometheus_text()
+        assert 'kind="quo\\"te\\\\path"' in text
+
+    def test_drain_snapshot_keeps_instruments_attached(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("work_total")
+        hist = registry.histogram("lat_seconds")
+        total = registry.gauge("load", aggregation="sum")
+        counter.inc(3)
+        hist.record(0.01)
+        total.inc(2.0)
+        first = registry.drain_snapshot()
+        assert first.value("work_total") == 3
+        # The SAME instrument objects keep recording post-drain...
+        counter.inc()
+        hist.record(0.02)
+        second = registry.drain_snapshot()
+        # ...and the second drain carries only the delta.
+        assert second.value("work_total") == 1
+        assert second.value("lat_seconds")["total"] == 1
+        assert second.value("load") == 0.0
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram (promoted) + shim
+# ----------------------------------------------------------------------
+class TestLatencyHistogramPromotion:
+    def test_serving_reexport_is_the_telemetry_class(self):
+        # The shim pins backward compatibility for every pre-PR-10
+        # import site (loadgen, benchmarks, user code).
+        from repro.serving import LatencyHistogram as from_pkg
+        from repro.serving.server import LatencyHistogram as from_server
+
+        assert from_server is LatencyHistogram
+        assert from_pkg is LatencyHistogram
+
+    def test_default_bucketing_unchanged(self):
+        hist = LatencyHistogram()
+        assert hist._bucketing() == (64, 1e-6, 1.5)
+        hist.record(0.003)
+        hist.record_many(np.array([0.001, 0.01]))
+        assert hist.total == 3
+        assert hist.as_dict()["count"] == 3
+
+    def test_state_roundtrip_and_reset(self):
+        hist = LatencyHistogram(num_buckets=8, base=0.5, factor=3.0)
+        hist.record(1.0)
+        hist.record(5.0)
+        clone = LatencyHistogram.from_state(hist.state_dict())
+        assert clone.total == 2
+        assert clone.sum_seconds == hist.sum_seconds
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge_state(hist.state_dict())
+        hist.reset()
+        assert hist.total == 0 and hist.max_seconds == 0.0
+        assert hist._bucketing() == (8, 0.5, 3.0)
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_records_duration_and_attributes(self):
+        tracer = Tracer(capacity=16)
+        with tracer.span("unit.op", batch=4) as span:
+            span.set("backend", "fsm")
+        (record,) = tracer.records()
+        assert record["name"] == "unit.op"
+        assert record["duration_s"] >= 0.0
+        assert record["attributes"] == {"batch": 4, "backend": "fsm"}
+
+    def test_span_name_attribute_does_not_collide(self):
+        tracer = Tracer(capacity=4)
+        with tracer.span("fleet.phase", name="warmup"):
+            pass
+        (record,) = tracer.records()
+        assert record["name"] == "fleet.phase"
+        assert record["attributes"] == {"name": "warmup"}
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer(capacity=4)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer) == 1
+
+    def test_ring_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"op{index}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [r["name"] for r in tracer.records()] == ["op2", "op3", "op4"]
+
+    def test_ingest_stamps_extra_attributes(self):
+        worker, parent = Tracer(capacity=8), Tracer(capacity=8)
+        with worker.span("rollout.collect_batch", traces=2):
+            pass
+        shipped = worker.drain()
+        assert len(worker) == 0
+        assert parent.ingest(shipped, worker=3) == 1
+        (record,) = parent.records()
+        assert record["attributes"]["worker"] == 3
+        assert record["attributes"]["traces"] == 2
+
+    def test_jsonl_export(self, tmp_path):
+        tracer = Tracer(capacity=8)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b", phase="x"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        lines = path.read_text().strip().split("\n")
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(capacity=4, enabled=False)
+        with tracer.span("ignored", key="value") as span:
+            span.set("more", 1)  # null span: no-op
+        assert len(tracer) == 0
+        assert tracer.ingest([{"name": "x"}]) == 0
+
+
+# ----------------------------------------------------------------------
+# Process defaults
+# ----------------------------------------------------------------------
+class TestProcessDefaults:
+    def test_configure_swaps_fresh_defaults(self, fresh_defaults):
+        before_registry = telemetry.registry()
+        before_tracer = telemetry.tracer()
+        telemetry.configure(enabled=False)
+        assert telemetry.registry() is not before_registry
+        assert telemetry.tracer() is not before_tracer
+        assert not telemetry.enabled()
+        with telemetry.span("ignored"):
+            pass
+        assert len(telemetry.tracer()) == 0
+        telemetry.configure(enabled=True, trace_capacity=7)
+        assert telemetry.enabled()
+        assert telemetry.tracer().capacity == 7
+
+    def test_module_span_helper_hits_default_tracer(self, fresh_defaults):
+        with telemetry.span("helper.op", n=1):
+            pass
+        names = [r["name"] for r in telemetry.tracer().records()]
+        assert "helper.op" in names
+
+
+# ----------------------------------------------------------------------
+# Instrumented components (construction picks up the current defaults)
+# ----------------------------------------------------------------------
+class TestComponentIntegration:
+    def test_rollout_collector_records_spans_and_counters(
+        self, fresh_defaults, system_config, reward_config, real_traces, tiny_policy
+    ):
+        collector = BatchedRolloutCollector(
+            VectorStorageAllocationEnv(system_config, reward_config), rng=0
+        )
+        trajectories = collector.collect_batch(tiny_policy, real_traces[:2])
+        assert len(trajectories) == 2
+        snapshot = telemetry.registry().snapshot()
+        assert snapshot.value("rollout_batches_total") == 1
+        assert snapshot.value("rollout_episodes_total") == 2
+        assert snapshot.value("rollout_steps_total") > 0
+        kernel_total = sum(
+            series["value"]
+            for series in snapshot.data["nn_kernel_dispatch_total"]["series"].values()
+        )
+        assert kernel_total > 0
+        spans = [
+            r for r in telemetry.tracer().records()
+            if r["name"] == "rollout.collect_batch"
+        ]
+        assert spans and spans[-1]["attributes"]["traces"] == 2
+
+    def test_worker_pool_merges_worker_telemetry(
+        self, fresh_defaults, system_config, reward_config, real_traces, tiny_policy
+    ):
+        with PersistentWorkerPool(
+            system_config, reward_config, num_workers=2
+        ) as pool:
+            pool.collect(tiny_policy, real_traces[:2], base_seed=5)
+        snapshot = telemetry.registry().snapshot()
+        # The parent never ran a rollout itself: these series arrived
+        # via worker snapshots merged at the epoch boundary.
+        assert snapshot.value("rollout_episodes_total") == 2
+        worker_spans = [
+            r for r in telemetry.tracer().records()
+            if r["name"] == "rollout.collect_batch"
+        ]
+        assert worker_spans
+        assert all("worker" in r["attributes"] for r in worker_spans)
+
+
+@pytest.fixture
+def reward_config():
+    from repro.env.reward import RewardConfig
+
+    return RewardConfig(mode="per_step_penalty")
